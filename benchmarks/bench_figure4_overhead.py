@@ -1,0 +1,30 @@
+"""Benchmark / regeneration of Figure 4 (overhead vs DK-Lock).
+
+Regenerates the four metric panels (power, area, cell count, I/O count) and
+asserts the paper's qualitative findings: Cute-Lock-Str's relative overhead
+shrinks with circuit size, and on small circuits its lighter configurations
+undercut the DK-Lock average cell count.
+"""
+
+from repro.experiments.figure4 import run_figure4
+
+
+def test_figure4_overhead(benchmark, full_eval):
+    tables, raw = benchmark.pedantic(
+        lambda: run_figure4(quick=not full_eval), rounds=1, iterations=1
+    )
+    print()
+    for table in tables.values():
+        print(table.to_text())
+        print()
+
+    cells = tables["cell_count"]
+    first_row, last_row = cells.rows[0], cells.rows[-1]
+
+    def relative(row, column):
+        return (row[column] - row["Original"]) / row["Original"]
+
+    # Overhead shrinks as circuits grow (Test Run 2 = 4 keys x 3 bits).
+    assert relative(first_row, "Test Run 2") >= relative(last_row, "Test Run 2")
+    # On the smallest benchmark the lighter Cute-Lock runs beat DK-Lock's average.
+    assert first_row["Test Run 1"] <= first_row["DK-Lock avg"]

@@ -1,0 +1,18 @@
+"""Benchmark / regeneration of Table I (Cute-Lock-Beh validation).
+
+Prints the regenerated waveform table and asserts the paper's qualitative
+result: the locked design matches the original under the scheduled keys and
+diverges under wrong keys.
+"""
+
+from repro.experiments.table1 import run_table1
+
+
+def test_table1_beh_validation(benchmark):
+    table, artefacts = benchmark.pedantic(
+        lambda: run_table1(num_cycles=16), rounds=1, iterations=1
+    )
+    print()
+    print(table.to_text())
+    assert artefacts["matches_correct"]
+    assert artefacts["diverges_wrong"]

@@ -1,0 +1,13 @@
+"""Benchmark / regeneration of Table II (Cute-Lock-Str validation on s27)."""
+
+from repro.experiments.table2 import run_table2
+
+
+def test_table2_str_validation(benchmark):
+    table, artefacts = benchmark.pedantic(
+        lambda: run_table2(num_cycles=15), rounds=1, iterations=1
+    )
+    print()
+    print(table.to_text())
+    assert artefacts["matches_correct"]
+    assert artefacts["diverges_wrong"]

@@ -1,0 +1,21 @@
+"""Benchmark / regeneration of Table III (Cute-Lock-Beh vs BBO/INT/KC2).
+
+The quick configuration locks one Synthezza-like benchmark per size group and
+runs all three NEOS-mode stand-ins; ``--benchmark-full-eval`` sweeps every
+benchmark of the paper's table.
+"""
+
+from repro.benchmarks_data.synthezza import synthezza_names
+from repro.experiments.table3 import run_table3
+
+
+def test_table3_beh_logic_attacks(benchmark, full_eval, attack_time_limit):
+    benchmarks = synthezza_names() if full_eval else None
+    table, raw = benchmark.pedantic(
+        lambda: run_table3(quick=not full_eval, benchmarks=benchmarks,
+                           time_limit=attack_time_limit),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(table.to_text())
+    assert not any(result.broke_defense for results in raw.values() for result in results)

@@ -1,0 +1,13 @@
+"""Benchmark / regeneration of Table IV (Cute-Lock-Str vs BBO/INT/KC2/RANE)."""
+
+from repro.experiments.table4 import run_table4
+
+
+def test_table4_str_logic_attacks(benchmark, full_eval, attack_time_limit):
+    table, raw = benchmark.pedantic(
+        lambda: run_table4(quick=not full_eval, time_limit=attack_time_limit),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(table.to_text())
+    assert not any(result.broke_defense for results in raw.values() for result in results)

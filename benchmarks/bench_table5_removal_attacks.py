@@ -1,0 +1,16 @@
+"""Benchmark / regeneration of Table V (DANA NMI + FALL on Cute-Lock-Str)."""
+
+from repro.experiments.table5 import run_table5
+
+
+def test_table5_removal_attacks(benchmark, full_eval):
+    table, raw = benchmark.pedantic(
+        lambda: run_table5(quick=not full_eval), rounds=1, iterations=1
+    )
+    print()
+    print(table.to_text())
+    # FALL must find nothing; DANA's average NMI must drop versus unlocked.
+    assert all(row["FALL keys"] == 0 for row in table.rows)
+    average_unlocked = sum(row["NMI (unlocked)"] for row in table.rows) / len(table.rows)
+    average_locked = sum(row["NMI (locked)"] for row in table.rows) / len(table.rows)
+    assert average_locked < average_unlocked

@@ -1,0 +1,38 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark module regenerates one table or figure of the paper (see
+DESIGN.md's per-experiment index).  The benchmarks run the *quick*
+configurations of the experiment drivers so the whole suite finishes in
+minutes on a laptop; pass ``--benchmark-full-eval`` to sweep the complete
+benchmark lists from the paper (slow).
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--benchmark-full-eval",
+        action="store_true",
+        default=False,
+        help="run the full (paper-sized) benchmark sweeps instead of the quick subsets",
+    )
+
+
+@pytest.fixture(scope="session")
+def full_eval(request):
+    """True when the full paper-sized sweeps were requested."""
+    return request.config.getoption("--benchmark-full-eval")
+
+
+@pytest.fixture(scope="session")
+def attack_time_limit(full_eval):
+    """Per-attack wall-clock budget used by the attack benchmarks."""
+    return 60.0 if full_eval else 10.0

@@ -1,0 +1,14 @@
+"""Pytest bootstrap.
+
+Makes the in-repo ``src/`` layout importable even when the package has not
+been installed (the offline execution environment lacks the ``wheel``
+package, which breaks PEP 660 editable installs; ``python setup.py develop``
+or this path shim are the supported fallbacks).
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

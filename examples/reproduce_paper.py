@@ -1,0 +1,33 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's entire evaluation (quick mode) in one run.
+
+Runs every table/figure driver through :func:`repro.experiments.run_all` and
+writes ``experiments_report.md`` next to this script.  Pass ``--full`` to
+sweep every benchmark named in the paper (slow: hours with the pure-Python
+SAT back-end).
+
+Run with:  python examples/reproduce_paper.py [--full]
+"""
+
+import argparse
+from pathlib import Path
+
+from repro.experiments import run_all
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true",
+                        help="run the full paper-sized sweeps (slow)")
+    parser.add_argument("--time-limit", type=float, default=20.0,
+                        help="per-attack time budget in seconds")
+    args = parser.parse_args()
+
+    output = Path(__file__).resolve().parent.parent / "experiments_report.md"
+    run_all(quick=not args.full, attack_time_limit=args.time_limit,
+            output_path=str(output))
+    print(f"\nfull report written to {output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The execution environment has no ``wheel`` package and no network access, so
+PEP 660 editable installs (which build a wheel) cannot run.  Keeping a
+classic ``setup.py`` lets ``pip install -e .`` fall back to the legacy
+``setup.py develop`` path, which only needs setuptools.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,151 @@
+"""AppSAT: the approximate SAT attack (Shamsi et al., HOST 2017).
+
+AppSAT interleaves DIP refinement with random-query sampling.  Whenever the
+current best key explains a large fraction of random oracle queries, the
+attack stops early and returns that *approximate* key.  Against low-
+corruptibility schemes (Anti-SAT) this recovers an almost-correct key quickly;
+against Cute-Lock the returned static key is simply wrong, which is the deep
+red "x..x" outcome in the paper's tables.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Dict, Optional, Union
+
+from repro.attacks.oracle import CombinationalOracle
+from repro.attacks.results import AttackOutcome, AttackResult
+from repro.attacks.sat_attack import _IncrementalCnf, _as_locked_pair
+from repro.locking.base import LockedCircuit
+from repro.netlist.circuit import Circuit
+from repro.sim.equivalence import random_equivalence_check
+from repro.sim.logicsim import CombinationalSimulator
+
+
+def appsat_attack(
+    locked: Union[LockedCircuit, Circuit],
+    oracle_circuit: Optional[Circuit] = None,
+    *,
+    max_iterations: int = 128,
+    settle_rounds: int = 4,
+    samples_per_round: int = 32,
+    error_threshold: float = 0.05,
+    time_limit: float = 120.0,
+    conflict_limit: Optional[int] = 200_000,
+    verify_vectors: int = 256,
+    seed: int = 0,
+) -> AttackResult:
+    """Run the AppSAT approximate attack.
+
+    Every ``settle_rounds`` DIP iterations the candidate key is evaluated on
+    ``samples_per_round`` random patterns; if the observed error rate is at
+    most ``error_threshold`` the candidate is returned as the approximate
+    key.  The result is classified against the oracle exactly like the exact
+    attack (an approximate key that fails full verification is reported as
+    ``WRONG_KEY``).
+    """
+    locked_circuit, original = _as_locked_pair(locked, oracle_circuit)
+    start = time.monotonic()
+    rng = random.Random(seed)
+
+    if not locked_circuit.key_inputs:
+        return AttackResult(attack="appsat", outcome=AttackOutcome.FAIL,
+                            details={"reason": "circuit has no key inputs"})
+
+    locked_view = locked_circuit.combinational_view() if locked_circuit.dffs else locked_circuit
+    oracle = CombinationalOracle(original)
+    locked_sim = CombinationalSimulator(locked_view)
+
+    key_nets = list(locked_view.key_inputs)
+    functional_nets = [n for n in locked_view.inputs if n not in set(key_nets)]
+    shared_outputs = [o for o in locked_view.outputs if o in set(oracle.output_nets)]
+
+    inc = _IncrementalCnf()
+    encoder, solver = inc.encoder, inc.solver
+    shared_functional = {net: net for net in functional_nets}
+    encoder.encode(locked_view, prefix="A@", shared_nets=shared_functional)
+    encoder.encode(locked_view, prefix="B@", shared_nets=shared_functional)
+    keys_a = [f"A@{net}" for net in key_nets]
+    keys_b = [f"B@{net}" for net in key_nets]
+    diff_net = encoder.encode_inequality(
+        [f"A@{out}" for out in shared_outputs], [f"B@{out}" for out in shared_outputs]
+    )
+    diff_literal = encoder.literal(diff_net, True)
+
+    deadline = start + time_limit
+    iterations = 0
+
+    def extract_candidate() -> Optional[Dict[str, int]]:
+        inc.sync()
+        status = solver.solve(conflict_limit=conflict_limit,
+                              time_limit=max(deadline - time.monotonic(), 0.001))
+        if not status:
+            return None
+        model = solver.model()
+        return {net: model.get(encoder.varmap.get(f"A@{net}", -1), 0) for net in key_nets}
+
+    def sample_error(candidate: Dict[str, int]) -> float:
+        errors = 0
+        for _ in range(samples_per_round):
+            vector = {net: rng.randint(0, 1) for net in functional_nets}
+            locked_out = locked_sim.outputs({**vector, **candidate})
+            oracle_out = oracle.query(vector)
+            if any(locked_out[o] != oracle_out[o] for o in shared_outputs):
+                errors += 1
+        return errors / max(samples_per_round, 1)
+
+    def add_dip_constraints(dip: Dict[str, int], response: Dict[str, int]) -> None:
+        for side, keys in (("A", keys_a), ("B", keys_b)):
+            prefix = f"c{side}{iterations}@"
+            shared = {net: keys[index] for index, net in enumerate(key_nets)}
+            shared.update({net: f"{prefix}{net}" for net in functional_nets})
+            encoder.encode(locked_view, prefix=prefix, shared_nets=shared)
+            for net in functional_nets:
+                encoder.add_value(f"{prefix}{net}", dip[net])
+            for out in shared_outputs:
+                encoder.add_value(f"{prefix}{out}", response[out])
+
+    def finish(outcome: AttackOutcome, key: Optional[Dict[str, int]] = None, **details) -> AttackResult:
+        return AttackResult(
+            attack="appsat", outcome=outcome, key=key, iterations=iterations,
+            runtime_seconds=time.monotonic() - start,
+            details={"oracle_queries": oracle.queries, **details},
+        )
+
+    def classify(candidate: Dict[str, int], approximate: bool) -> AttackResult:
+        verdict = random_equivalence_check(
+            original, locked_circuit, key_assignment=candidate, num_vectors=verify_vectors
+        )
+        outcome = AttackOutcome.CORRECT if verdict.equivalent else AttackOutcome.WRONG_KEY
+        return finish(outcome, key=candidate, approximate=approximate)
+
+    while iterations < max_iterations:
+        if time.monotonic() > deadline:
+            return finish(AttackOutcome.TIMEOUT, reason="time limit")
+        inc.sync()
+        status = solver.solve(assumptions=[diff_literal], conflict_limit=conflict_limit,
+                              time_limit=max(deadline - time.monotonic(), 0.001))
+        if status is None:
+            return finish(AttackOutcome.TIMEOUT, reason="solver limit during DIP search")
+        if status is False:
+            candidate = extract_candidate()
+            if candidate is None:
+                return finish(AttackOutcome.CNS,
+                              reason="no static key satisfies all DIP constraints")
+            return classify(candidate, approximate=False)
+        iterations += 1
+        model = solver.model()
+        dip = {net: model.get(encoder.varmap.get(net, -1), 0) for net in functional_nets}
+        response = oracle.query(dip)
+        add_dip_constraints(dip, response)
+
+        if iterations % settle_rounds == 0:
+            candidate = extract_candidate()
+            if candidate is None:
+                return finish(AttackOutcome.CNS,
+                              reason="no static key satisfies all DIP constraints")
+            if sample_error(candidate) <= error_threshold:
+                return classify(candidate, approximate=True)
+
+    return finish(AttackOutcome.TIMEOUT, reason="iteration limit reached")

@@ -1,0 +1,80 @@
+"""Oracle models.
+
+Oracle-guided attacks assume the attacker owns a *working chip* bought off
+the market.  Two observability models are used in the literature and in the
+paper's evaluation:
+
+* **scan access** (:class:`CombinationalOracle`) — the attacker can shift an
+  arbitrary state into the scan chain, apply one vector, and observe both the
+  primary outputs and the captured next state.  This reduces the sequential
+  problem to a combinational one.
+* **no scan access** (:class:`SequentialOracle`) — the attacker can only
+  reset the chip, apply an input *sequence* and observe the output sequence
+  (the model used by the BMC/KC2/RANE sequential attacks).
+
+The oracles wrap the *original* circuit: a functional chip behaves exactly
+like the unlocked design.  Query counts are tracked because they are a
+standard attack-cost metric.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.netlist.circuit import Circuit
+from repro.sim.logicsim import CombinationalSimulator
+from repro.sim.seqsim import SequentialSimulator
+
+
+class CombinationalOracle:
+    """Scan-access oracle: one-vector queries against the combinational view."""
+
+    def __init__(self, original: Circuit) -> None:
+        self.circuit = original
+        self.view = original.combinational_view() if original.dffs else original
+        self._sim = CombinationalSimulator(self.view)
+        self.queries = 0
+
+    @property
+    def input_nets(self) -> List[str]:
+        """Nets the attacker controls: primary inputs plus scanned-in state."""
+        return list(self.view.inputs)
+
+    @property
+    def output_nets(self) -> List[str]:
+        """Nets the attacker observes: primary outputs plus captured state."""
+        return list(self.view.outputs)
+
+    def query(self, assignment: Mapping[str, int]) -> Dict[str, int]:
+        """Apply one input/state vector and return outputs and next state."""
+        self.queries += 1
+        vector = {net: int(assignment.get(net, 0)) & 1 for net in self.view.inputs}
+        return self._sim.outputs(vector)
+
+
+class SequentialOracle:
+    """Reset-and-run oracle: input-sequence queries without scan access."""
+
+    def __init__(self, original: Circuit) -> None:
+        self.circuit = original
+        self.queries = 0
+        self.cycles = 0
+
+    @property
+    def input_nets(self) -> List[str]:
+        return list(self.circuit.inputs)
+
+    @property
+    def output_nets(self) -> List[str]:
+        return list(self.circuit.outputs)
+
+    def query(self, input_sequence: Sequence[Mapping[str, int]]) -> List[Dict[str, int]]:
+        """Reset the chip, apply ``input_sequence`` and return per-cycle outputs."""
+        self.queries += 1
+        self.cycles += len(input_sequence)
+        sim = SequentialSimulator(self.circuit)
+        outputs: List[Dict[str, int]] = []
+        for vector in input_sequence:
+            full = {net: int(vector.get(net, 0)) & 1 for net in self.circuit.inputs}
+            outputs.append(sim.outputs(full))
+        return outputs

@@ -1,0 +1,180 @@
+"""RANE-style attack (Roshanisefat et al., GLSVLSI 2021).
+
+RANE drives formal verification engines over the *netlist pair* (locked
+circuit, functional netlist), modelling the secret — key bits and, for
+sequential locking, the initial/unlocking state — as free symbolic variables,
+and asks the engine for an assignment that makes the two designs equivalent
+over a bounded horizon.
+
+The reproduction realises the same idea as a counterexample-guided inductive
+synthesis (CEGIS) loop on top of our SAT layer:
+
+1. *Synthesis step* — find a static key (and, optionally, an initial counter
+   state) consistent with every counterexample collected so far.
+2. *Verification step* — unroll locked-with-candidate-key against the
+   reference netlist for ``depth`` frames and search for an input sequence on
+   which they differ.  If none exists the candidate is accepted (after a
+   final simulation check); otherwise the counterexample's reference response
+   is added to the constraint set and the loop repeats.
+
+Against Cute-Lock the synthesis step eventually runs out of candidates (no
+static key makes the designs equivalent), which is reported as ``CNS`` /
+``FAIL`` — the paper's Table IV outcome for RANE.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.attacks.oracle import SequentialOracle
+from repro.attacks.results import AttackOutcome, AttackResult
+from repro.attacks.sequential_core import _as_locked_pair
+from repro.attacks.unroll import encode_unrolled
+from repro.locking.base import LockedCircuit, pack_key_bits
+from repro.netlist.circuit import Circuit
+from repro.sat.solver import Solver
+from repro.sat.tseitin import TseitinEncoder
+from repro.sim.equivalence import sequential_equivalence_check
+
+
+def rane_attack(
+    locked: Union[LockedCircuit, Circuit],
+    oracle_circuit: Optional[Circuit] = None,
+    *,
+    depth: int = 8,
+    max_iterations: int = 64,
+    time_limit: float = 180.0,
+    conflict_limit: Optional[int] = 200_000,
+    verify_sequences: int = 8,
+    verify_length: int = 48,
+) -> AttackResult:
+    """Run the RANE-style CEGIS unlocking attack."""
+    locked_circuit, reference = _as_locked_pair(locked, oracle_circuit)
+    start = time.monotonic()
+    deadline = start + time_limit
+
+    if not locked_circuit.key_inputs:
+        return AttackResult(attack="rane", outcome=AttackOutcome.FAIL,
+                            details={"reason": "circuit has no key inputs"})
+
+    oracle = SequentialOracle(reference)
+    key_nets = list(locked_circuit.key_inputs)
+    functional_inputs = [n for n in locked_circuit.inputs if n not in set(key_nets)]
+    shared_outputs = [o for o in locked_circuit.outputs if o in set(reference.outputs)]
+    if not shared_outputs:
+        return AttackResult(attack="rane", outcome=AttackOutcome.FAIL,
+                            details={"reason": "locked circuit and reference share no outputs"})
+
+    # --- synthesis side: one constraint copy of the locked circuit per
+    # counterexample, all sharing the KA@ key variables.
+    synth_encoder = TseitinEncoder()
+    synth_solver = Solver()
+    synth_synced = 0
+    counterexamples: List[Tuple[List[Dict[str, int]], List[Dict[str, int]]]] = []
+
+    def synth_sync() -> None:
+        nonlocal synth_synced
+        clauses = synth_encoder.cnf.clauses
+        if synth_synced < len(clauses):
+            synth_solver.add_clauses(clauses[synth_synced:])
+            synth_synced = len(clauses)
+
+    def add_counterexample(dis: List[Dict[str, int]], responses: List[Dict[str, int]]) -> None:
+        tag = len(counterexamples)
+        copy = encode_unrolled(
+            synth_encoder, locked_circuit, len(dis), prefix=f"ce{tag}#",
+            shared_input_prefix=f"ce{tag}X", key_prefix="KA@",
+        )
+        for frame, (vector, response) in enumerate(zip(dis, responses)):
+            for net in functional_inputs:
+                synth_encoder.add_value(copy.frame_inputs[frame][net], vector[net])
+            for out in shared_outputs:
+                synth_encoder.add_value(copy.frame_outputs[frame][out], response[out])
+        counterexamples.append((dis, responses))
+
+    # Touch the key variables so a candidate exists even with no constraints.
+    for net in key_nets:
+        synth_encoder.var(f"KA@{net}")
+
+    iterations = 0
+
+    def finish(outcome: AttackOutcome, key: Optional[Dict[str, int]] = None, **details) -> AttackResult:
+        return AttackResult(
+            attack="rane", outcome=outcome, key=key, iterations=iterations,
+            runtime_seconds=time.monotonic() - start,
+            details={"oracle_queries": oracle.queries, "depth": depth, **details},
+        )
+
+    while iterations < max_iterations:
+        if time.monotonic() > deadline:
+            return finish(AttackOutcome.TIMEOUT, reason="time limit")
+        iterations += 1
+
+        # Synthesis: propose a key consistent with all counterexamples.
+        synth_sync()
+        status = synth_solver.solve(conflict_limit=conflict_limit,
+                                    time_limit=max(deadline - time.monotonic(), 0.001))
+        if status is None:
+            return finish(AttackOutcome.TIMEOUT, reason="solver limit during synthesis")
+        if status is False:
+            return finish(AttackOutcome.CNS,
+                          reason="no static key makes the designs equivalent")
+        model = synth_solver.model()
+        candidate = {
+            net: model.get(synth_encoder.varmap.get(f"KA@{net}", -1), 0) for net in key_nets
+        }
+
+        # Verification: bounded equivalence of locked(candidate) vs reference.
+        verify_encoder = TseitinEncoder()
+        verify_solver = Solver()
+        locked_copy = encode_unrolled(
+            verify_encoder, locked_circuit, depth, prefix="L#",
+            shared_input_prefix="VX", key_prefix="VK@",
+        )
+        reference_copy = encode_unrolled(
+            verify_encoder, reference, depth, prefix="R#",
+            shared_input_prefix="VX", key_prefix="VRK@",
+        )
+        for net in key_nets:
+            verify_encoder.add_value(f"VK@{net}", candidate[net])
+        nets_locked: List[str] = []
+        nets_reference: List[str] = []
+        for frame in range(depth):
+            for out in shared_outputs:
+                nets_locked.append(locked_copy.frame_outputs[frame][out])
+                nets_reference.append(reference_copy.frame_outputs[frame][out])
+        diff_net = verify_encoder.encode_inequality(nets_locked, nets_reference)
+        verify_solver.add_clauses(verify_encoder.cnf.clauses)
+        status = verify_solver.solve(
+            assumptions=[verify_encoder.literal(diff_net, True)],
+            conflict_limit=conflict_limit,
+            time_limit=max(deadline - time.monotonic(), 0.001),
+        )
+        if status is None:
+            return finish(AttackOutcome.TIMEOUT, reason="solver limit during verification")
+        if status is False:
+            # Bounded-equivalent: accept after a final simulation check.
+            packed = pack_key_bits(candidate, key_nets)
+            verdict = sequential_equivalence_check(
+                reference, locked_circuit, key_schedule=[packed], key_inputs=key_nets,
+                num_sequences=verify_sequences, sequence_length=verify_length,
+            )
+            outcome = AttackOutcome.CORRECT if verdict.equivalent else AttackOutcome.WRONG_KEY
+            return finish(outcome, key=candidate)
+
+        # Counterexample: extract the distinguishing input sequence, get the
+        # reference response and add it to the synthesis constraints.
+        model = verify_solver.model()
+        dis: List[Dict[str, int]] = []
+        for frame in range(depth):
+            vector = {}
+            for net in functional_inputs:
+                name = locked_copy.frame_inputs[frame][net]
+                vector[net] = model.get(verify_encoder.varmap.get(name, -1), 0)
+            dis.append(vector)
+        responses = oracle.query(dis)
+        responses = [{out: resp[out] for out in shared_outputs} for resp in responses]
+        add_counterexample(dis, responses)
+
+    return finish(AttackOutcome.TIMEOUT, reason="iteration limit reached")

@@ -1,0 +1,90 @@
+"""Attack outcome containers.
+
+The paper's attack tables colour-code five outcomes; :class:`AttackOutcome`
+mirrors them directly so the experiment drivers can print the same
+classification:
+
+* ``CORRECT``   — the attack recovered a key that unlocks the circuit (green);
+* ``WRONG_KEY`` — the attack reported a key but it fails verification (red);
+* ``CNS``       — "condition not solvable": the attack proved no key in its
+  model (a single static key) is consistent with the oracle (light red);
+* ``FAIL``      — the attack terminated without producing any key (dark red);
+* ``TIMEOUT``   — the attack hit its resource limit (yellow / "N/A").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class AttackOutcome(str, enum.Enum):
+    """Classification of an attack run, mirroring the paper's colour legend."""
+
+    CORRECT = "correct"
+    WRONG_KEY = "wrong-key"
+    CNS = "cns"
+    FAIL = "fail"
+    TIMEOUT = "timeout"
+
+    @property
+    def is_break(self) -> bool:
+        """True if the defense was broken (attacker obtained a working key)."""
+        return self is AttackOutcome.CORRECT
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass
+class AttackResult:
+    """Outcome of one attack run.
+
+    Attributes
+    ----------
+    attack:
+        Attack name (``"sat"``, ``"bmc"``, ``"kc2"``, ``"rane"``, …).
+    outcome:
+        The :class:`AttackOutcome` classification.
+    key:
+        The recovered static key as a per-pin bit assignment (if any).
+    iterations:
+        Number of DIP / DIS refinement iterations executed.
+    runtime_seconds:
+        Wall-clock time spent inside the attack.
+    details:
+        Attack-specific extras (unroll depth, solver statistics, …).
+    """
+
+    attack: str
+    outcome: AttackOutcome
+    key: Optional[Dict[str, int]] = None
+    iterations: int = 0
+    runtime_seconds: float = 0.0
+    details: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def broke_defense(self) -> bool:
+        return self.outcome.is_break
+
+    def summary(self) -> str:
+        """Compact single-line summary used by the experiment tables."""
+        key_repr = "-"
+        if self.key is not None:
+            key_repr = "".join(str(self.key[net]) for net in sorted(self.key))
+        return (
+            f"{self.attack}: {self.outcome.value} "
+            f"(iters={self.iterations}, t={self.runtime_seconds:.3f}s, key={key_repr})"
+        )
+
+
+def format_runtime(seconds: float) -> str:
+    """Render a runtime the way the paper's tables do (``XmY.ZZZs``)."""
+    minutes = int(seconds // 60)
+    remainder = seconds - minutes * 60
+    if minutes >= 60:
+        hours = minutes // 60
+        minutes = minutes % 60
+        return f"{hours}h{minutes}m{remainder:.0f}s"
+    return f"{minutes}m{remainder:.3f}s"

@@ -1,0 +1,201 @@
+"""The oracle-guided SAT attack (Subramanyan et al., HOST 2015).
+
+Scan access is assumed, so sequential circuits are attacked through their
+combinational view (flip-flop state scanned in / captured out).  The attack
+iteratively finds Discriminating Input Patterns (DIPs) with a two-key miter,
+queries the oracle on each DIP and constrains both key copies to reproduce
+the observed response, until no further DIP exists.  Any key satisfying the
+accumulated constraints is then functionally correct — *for schemes whose
+correct key is a single static value*.
+
+Against Cute-Lock the static-key assumption is exactly what fails: the
+accumulated DIP constraints (which include DIPs at different counter values)
+eliminate every static key, and the final key-extraction step reports the
+"condition not solvable" outcome the paper's tables show.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.attacks.oracle import CombinationalOracle
+from repro.attacks.results import AttackOutcome, AttackResult
+from repro.locking.base import LockedCircuit
+from repro.netlist.circuit import Circuit
+from repro.sat.solver import Solver
+from repro.sat.tseitin import TseitinEncoder
+from repro.sim.equivalence import random_equivalence_check
+
+
+def _as_locked_pair(
+    locked: Union[LockedCircuit, Circuit], oracle_circuit: Optional[Circuit]
+) -> Tuple[Circuit, Circuit]:
+    """Normalise the (locked netlist, oracle netlist) pair."""
+    if isinstance(locked, LockedCircuit):
+        return locked.circuit, oracle_circuit or locked.original
+    if oracle_circuit is None:
+        raise ValueError("an oracle circuit is required when passing a bare Circuit")
+    return locked, oracle_circuit
+
+
+class _IncrementalCnf:
+    """Keeps a Solver in sync with a growing CNF built by a TseitinEncoder."""
+
+    def __init__(self) -> None:
+        self.encoder = TseitinEncoder()
+        self.solver = Solver()
+        self._synced = 0
+
+    def sync(self) -> None:
+        clauses = self.encoder.cnf.clauses
+        if self._synced < len(clauses):
+            self.solver.add_clauses(clauses[self._synced:])
+            self._synced = len(clauses)
+
+
+def sat_attack(
+    locked: Union[LockedCircuit, Circuit],
+    oracle_circuit: Optional[Circuit] = None,
+    *,
+    max_iterations: int = 256,
+    time_limit: float = 120.0,
+    conflict_limit: Optional[int] = 200_000,
+    verify_vectors: int = 256,
+    attack_name: str = "sat",
+) -> AttackResult:
+    """Run the combinational oracle-guided SAT attack.
+
+    Parameters
+    ----------
+    locked:
+        The locked design (a :class:`LockedCircuit`, or a bare circuit with
+        ``oracle_circuit`` given explicitly).
+    max_iterations:
+        Upper bound on DIP iterations before reporting a timeout.
+    time_limit:
+        Wall-clock budget in seconds.
+    conflict_limit:
+        Per-solver-call conflict budget (None = unlimited).
+    verify_vectors:
+        Random vectors used to verify a recovered key against the oracle.
+    """
+    locked_circuit, original = _as_locked_pair(locked, oracle_circuit)
+    start = time.monotonic()
+
+    if not locked_circuit.key_inputs:
+        return AttackResult(
+            attack=attack_name,
+            outcome=AttackOutcome.FAIL,
+            details={"reason": "circuit has no key inputs"},
+        )
+
+    locked_view = locked_circuit.combinational_view() if locked_circuit.dffs else locked_circuit
+    oracle = CombinationalOracle(original)
+
+    key_nets = list(locked_view.key_inputs)
+    functional_nets = [n for n in locked_view.inputs if n not in set(key_nets)]
+    shared_outputs = [o for o in locked_view.outputs if o in set(oracle.output_nets)]
+    if not shared_outputs:
+        return AttackResult(
+            attack=attack_name,
+            outcome=AttackOutcome.FAIL,
+            details={"reason": "locked circuit and oracle share no outputs"},
+        )
+
+    inc = _IncrementalCnf()
+    encoder, solver = inc.encoder, inc.solver
+
+    def copy_map(prefix: str) -> Dict[str, str]:
+        """Share functional inputs between copies; privatise everything else."""
+        return {net: net for net in functional_nets}
+
+    # Two key copies of the locked circuit sharing functional inputs.
+    encoder.encode(locked_view, prefix="A@", shared_nets=copy_map("A@"))
+    encoder.encode(locked_view, prefix="B@", shared_nets=copy_map("B@"))
+    keys_a = [f"A@{net}" for net in key_nets]
+    keys_b = [f"B@{net}" for net in key_nets]
+    diff_net = encoder.encode_inequality(
+        [f"A@{out}" for out in shared_outputs], [f"B@{out}" for out in shared_outputs]
+    )
+    diff_literal = encoder.literal(diff_net, True)
+
+    iterations = 0
+    deadline = start + time_limit
+
+    def remaining() -> float:
+        return max(0.0, deadline - time.monotonic())
+
+    def finish(outcome: AttackOutcome, key: Optional[Dict[str, int]] = None, **details) -> AttackResult:
+        return AttackResult(
+            attack=attack_name,
+            outcome=outcome,
+            key=key,
+            iterations=iterations,
+            runtime_seconds=time.monotonic() - start,
+            details={
+                "oracle_queries": oracle.queries,
+                "solver_conflicts": solver.stats.conflicts,
+                **details,
+            },
+        )
+
+    while iterations < max_iterations:
+        inc.sync()
+        status = solver.solve(
+            assumptions=[diff_literal],
+            conflict_limit=conflict_limit,
+            time_limit=remaining() or 0.001,
+        )
+        if status is None:
+            return finish(AttackOutcome.TIMEOUT, reason="solver limit during DIP search")
+        if status is False:
+            break  # no more DIPs
+        iterations += 1
+        model = solver.model()
+        dip = {
+            net: model.get(encoder.varmap.get(net, -1), 0) for net in functional_nets
+        }
+        response = oracle.query(dip)
+
+        # Constrain both key copies to reproduce the oracle response on the DIP.
+        for side, keys in (("A", keys_a), ("B", keys_b)):
+            prefix = f"c{side}{iterations}@"
+            shared = {net: keys[index] for index, net in enumerate(key_nets)}
+            shared.update({net: f"{prefix}{net}" for net in functional_nets})
+            encoder.encode(locked_view, prefix=prefix, shared_nets=shared)
+            for net in functional_nets:
+                encoder.add_value(f"{prefix}{net}", dip[net])
+            for out in shared_outputs:
+                encoder.add_value(f"{prefix}{out}", response[out])
+
+        if time.monotonic() > deadline:
+            return finish(AttackOutcome.TIMEOUT, reason="time limit after DIP refinement")
+
+    if iterations >= max_iterations:
+        return finish(AttackOutcome.TIMEOUT, reason="iteration limit reached")
+
+    # DIP loop converged: extract a key consistent with every observation.
+    inc.sync()
+    status = solver.solve(conflict_limit=conflict_limit, time_limit=max(remaining(), 0.001))
+    if status is None:
+        return finish(AttackOutcome.TIMEOUT, reason="solver limit during key extraction")
+    if status is False:
+        # No static key is consistent with the oracle: the attack's model of
+        # the lock (one key applied at all times) cannot explain the chip.
+        return finish(AttackOutcome.CNS, reason="no static key satisfies all DIP constraints")
+
+    model = solver.model()
+    key = {
+        net: model.get(encoder.varmap.get(f"A@{net}", -1), 0) for net in key_nets
+    }
+    verdict = random_equivalence_check(
+        original, locked_circuit, key_assignment=key, num_vectors=verify_vectors
+    )
+    if verdict.equivalent:
+        return finish(AttackOutcome.CORRECT, key=key)
+    return finish(
+        AttackOutcome.WRONG_KEY,
+        key=key,
+        counterexample=verdict.counterexample,
+    )

@@ -1,0 +1,253 @@
+"""Shared machinery for the sequential oracle-guided attacks.
+
+BMC ("BBO"), INT and KC2 are all refinements of the same skeleton — an
+oracle-guided search for a *static* key over bounded time-frame unrollings:
+
+1. unroll two copies of the locked circuit for ``T`` frames with independent
+   static keys and a shared input sequence;
+2. ask a SAT solver for a Discriminating Input Sequence (DIS) on which the
+   two key guesses disagree;
+3. query the (reset-and-run, no-scan) oracle with the DIS and constrain both
+   key copies to reproduce the observed output sequence;
+4. when no DIS remains at depth ``T``, extract a consistent key and verify it
+   by simulation; on verification failure the depth is increased.
+
+The three NEOS modes reproduced in Tables III/IV differ in how the solver is
+managed (fresh vs incremental) and whether implied key bits are fixed after
+every round ("key-condition crunching"); those switches are exposed as
+parameters of :func:`sequential_oracle_guided_attack`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.attacks.oracle import SequentialOracle
+from repro.attacks.results import AttackOutcome, AttackResult
+from repro.attacks.unroll import encode_unrolled
+from repro.locking.base import LockedCircuit, pack_key_bits
+from repro.netlist.circuit import Circuit
+from repro.sat.solver import Solver
+from repro.sat.tseitin import TseitinEncoder
+from repro.sim.equivalence import sequential_equivalence_check
+
+
+def _as_locked_pair(
+    locked: Union[LockedCircuit, Circuit], oracle_circuit: Optional[Circuit]
+) -> Tuple[Circuit, Circuit]:
+    if isinstance(locked, LockedCircuit):
+        return locked.circuit, oracle_circuit or locked.original
+    if oracle_circuit is None:
+        raise ValueError("an oracle circuit is required when passing a bare Circuit")
+    return locked, oracle_circuit
+
+
+class _DepthAttackState:
+    """Encoder/solver pair plus bookkeeping for one unroll depth."""
+
+    def __init__(self, locked: Circuit, shared_outputs: Sequence[str], depth: int) -> None:
+        self.encoder = TseitinEncoder()
+        self.solver = Solver()
+        self._synced = 0
+        self.depth = depth
+        self.locked = locked
+        self.shared_outputs = list(shared_outputs)
+        self.copy_a = encode_unrolled(
+            self.encoder, locked, depth, prefix="A#",
+            shared_input_prefix="X", key_prefix="KA@",
+        )
+        self.copy_b = encode_unrolled(
+            self.encoder, locked, depth, prefix="B#",
+            shared_input_prefix="X", key_prefix="KB@",
+        )
+        nets_a: List[str] = []
+        nets_b: List[str] = []
+        for frame in range(depth):
+            for out in self.shared_outputs:
+                nets_a.append(self.copy_a.frame_outputs[frame][out])
+                nets_b.append(self.copy_b.frame_outputs[frame][out])
+        self.diff_net = self.encoder.encode_inequality(nets_a, nets_b)
+        self.constraint_copies = 0
+
+    def sync(self) -> None:
+        clauses = self.encoder.cnf.clauses
+        if self._synced < len(clauses):
+            self.solver.add_clauses(clauses[self._synced:])
+            self._synced = len(clauses)
+
+    def fresh_solver(self) -> None:
+        """Rebuild the solver from scratch (the non-incremental "BBO" mode)."""
+        self.solver = Solver()
+        self._synced = 0
+
+    def add_observation(
+        self,
+        functional_inputs: Sequence[str],
+        dis: List[Dict[str, int]],
+        responses: List[Dict[str, int]],
+    ) -> None:
+        """Constrain both key copies to reproduce the oracle's response on ``dis``."""
+        self.constraint_copies += 1
+        tag = self.constraint_copies
+        for side, key_prefix in (("A", "KA@"), ("B", "KB@")):
+            copy = encode_unrolled(
+                self.encoder, self.locked, self.depth,
+                prefix=f"o{side}{tag}#", shared_input_prefix=f"o{side}{tag}X",
+                key_prefix=key_prefix,
+            )
+            for frame, (vector, response) in enumerate(zip(dis, responses)):
+                for net in functional_inputs:
+                    self.encoder.add_value(copy.frame_inputs[frame][net], vector[net])
+                for out in self.shared_outputs:
+                    self.encoder.add_value(copy.frame_outputs[frame][out], response[out])
+
+
+def sequential_oracle_guided_attack(
+    locked: Union[LockedCircuit, Circuit],
+    oracle_circuit: Optional[Circuit] = None,
+    *,
+    attack_name: str,
+    incremental: bool,
+    crunch_keys: bool = False,
+    initial_depth: int = 2,
+    max_depth: int = 16,
+    max_iterations: int = 128,
+    time_limit: float = 180.0,
+    conflict_limit: Optional[int] = 200_000,
+    verify_sequences: int = 8,
+    verify_length: int = 48,
+) -> AttackResult:
+    """Run the shared sequential attack skeleton (see module docstring)."""
+    locked_circuit, original = _as_locked_pair(locked, oracle_circuit)
+    start = time.monotonic()
+    deadline = start + time_limit
+
+    if not locked_circuit.key_inputs:
+        return AttackResult(attack=attack_name, outcome=AttackOutcome.FAIL,
+                            details={"reason": "circuit has no key inputs"})
+
+    oracle = SequentialOracle(original)
+    key_nets = list(locked_circuit.key_inputs)
+    functional_inputs = [n for n in locked_circuit.inputs if n not in set(key_nets)]
+    shared_outputs = [o for o in locked_circuit.outputs if o in set(oracle.output_nets)]
+    if not shared_outputs:
+        return AttackResult(attack=attack_name, outcome=AttackOutcome.FAIL,
+                            details={"reason": "locked circuit and oracle share no outputs"})
+
+    total_iterations = 0
+    last_candidate: Optional[Dict[str, int]] = None
+    observations: List[Tuple[List[Dict[str, int]], List[Dict[str, int]]]] = []
+
+    def finish(outcome: AttackOutcome, key: Optional[Dict[str, int]] = None, **details) -> AttackResult:
+        return AttackResult(
+            attack=attack_name, outcome=outcome, key=key, iterations=total_iterations,
+            runtime_seconds=time.monotonic() - start,
+            details={"oracle_queries": oracle.queries, **details},
+        )
+
+    def verify(candidate: Dict[str, int]) -> bool:
+        packed = pack_key_bits(candidate, key_nets)
+        verdict = sequential_equivalence_check(
+            original, locked_circuit,
+            key_schedule=[packed], key_inputs=key_nets,
+            num_sequences=verify_sequences, sequence_length=verify_length,
+        )
+        return verdict.equivalent
+
+    depth = initial_depth
+    while depth <= max_depth:
+        state = _DepthAttackState(locked_circuit, shared_outputs, depth)
+        # Replay observations gathered at smaller depths (truncated to fit).
+        for dis, responses in observations:
+            state.add_observation(functional_inputs, dis[:depth], responses[:depth])
+
+        while True:
+            if time.monotonic() > deadline:
+                return finish(AttackOutcome.TIMEOUT, reason="time limit", depth=depth)
+            if total_iterations >= max_iterations:
+                return finish(AttackOutcome.TIMEOUT, reason="iteration limit", depth=depth)
+            if not incremental:
+                state.fresh_solver()
+            state.sync()
+            status = state.solver.solve(
+                assumptions=[state.encoder.literal(state.diff_net, True)],
+                conflict_limit=conflict_limit,
+                time_limit=max(deadline - time.monotonic(), 0.001),
+            )
+            if status is None:
+                return finish(AttackOutcome.TIMEOUT, reason="solver limit during DIS search",
+                              depth=depth)
+            if status is False:
+                break
+            total_iterations += 1
+            model = state.solver.model()
+            dis: List[Dict[str, int]] = []
+            for frame in range(depth):
+                vector = {}
+                for net in functional_inputs:
+                    name = state.copy_a.frame_inputs[frame][net]
+                    vector[net] = model.get(state.encoder.varmap.get(name, -1), 0)
+                dis.append(vector)
+            responses = oracle.query(dis)
+            responses = [
+                {out: resp[out] for out in shared_outputs} for resp in responses
+            ]
+            observations.append((dis, responses))
+            state.add_observation(functional_inputs, dis, responses)
+
+            if crunch_keys:
+                _crunch_key_conditions(state, key_nets, conflict_limit, deadline)
+
+        # No DIS left at this depth: extract a consistent static key.
+        state.sync()
+        status = state.solver.solve(
+            conflict_limit=conflict_limit,
+            time_limit=max(deadline - time.monotonic(), 0.001),
+        )
+        if status is None:
+            return finish(AttackOutcome.TIMEOUT, reason="solver limit during key extraction",
+                          depth=depth)
+        if status is False:
+            return finish(AttackOutcome.CNS,
+                          reason="no static key is consistent with the oracle",
+                          depth=depth)
+        model = state.solver.model()
+        candidate = {
+            net: model.get(state.encoder.varmap.get(f"KA@{net}", -1), 0) for net in key_nets
+        }
+        last_candidate = candidate
+        if verify(candidate):
+            return finish(AttackOutcome.CORRECT, key=candidate, depth=depth)
+        depth *= 2
+
+    return finish(AttackOutcome.WRONG_KEY, key=last_candidate,
+                  reason="maximum unroll depth reached without a verified key",
+                  depth=max_depth)
+
+
+def _crunch_key_conditions(
+    state: _DepthAttackState,
+    key_nets: Sequence[str],
+    conflict_limit: Optional[int],
+    deadline: float,
+) -> None:
+    """KC2-style simplification: permanently fix key bits implied by the
+    observations accumulated so far (both for the A and B key copies)."""
+    state.sync()
+    for prefix in ("KA@", "KB@"):
+        for net in key_nets:
+            if time.monotonic() > deadline:
+                return
+            literal = state.encoder.literal(f"{prefix}{net}", True)
+            can_be_true = state.solver.solve(
+                assumptions=[literal], conflict_limit=conflict_limit, time_limit=0.5
+            )
+            can_be_false = state.solver.solve(
+                assumptions=[-literal], conflict_limit=conflict_limit, time_limit=0.5
+            )
+            if can_be_true is False and can_be_false is True:
+                state.encoder.cnf.add_clause([-literal])
+            elif can_be_false is False and can_be_true is True:
+                state.encoder.cnf.add_clause([literal])
+    state.sync()

@@ -1,0 +1,119 @@
+"""Time-frame unrolling of sequential circuits into CNF.
+
+The sequential oracle-guided attacks (BMC/"BBO", INT, KC2, RANE) all reason
+about a locked circuit's behaviour over a bounded number of clock cycles.
+:func:`encode_unrolled` places ``num_frames`` copies of a circuit's
+combinational logic into a shared :class:`~repro.sat.tseitin.TseitinEncoder`,
+wiring each frame's captured next state to the following frame's present
+state, fixing frame 0 to the reset state, and — crucially for the attacks'
+threat model — tying every frame's key inputs to a single set of *static* key
+variables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.netlist.circuit import Circuit
+from repro.sat.tseitin import TseitinEncoder
+
+
+@dataclass
+class UnrolledCircuit:
+    """Net-name bookkeeping for one unrolled copy of a circuit.
+
+    All names refer to entries of the shared encoder's variable map.
+    ``frame_inputs[t]`` maps the original input net to its frame-``t`` name,
+    and similarly for outputs and state.
+    """
+
+    prefix: str
+    num_frames: int
+    key_nets: Dict[str, str] = field(default_factory=dict)
+    frame_inputs: List[Dict[str, str]] = field(default_factory=list)
+    frame_outputs: List[Dict[str, str]] = field(default_factory=list)
+    frame_states: List[Dict[str, str]] = field(default_factory=list)
+
+    def input_name(self, frame: int, net: str) -> str:
+        return self.frame_inputs[frame][net]
+
+    def output_name(self, frame: int, net: str) -> str:
+        return self.frame_outputs[frame][net]
+
+
+def encode_unrolled(
+    encoder: TseitinEncoder,
+    circuit: Circuit,
+    num_frames: int,
+    *,
+    prefix: str,
+    shared_input_prefix: Optional[str] = None,
+    key_prefix: Optional[str] = None,
+    fix_initial_state: bool = True,
+) -> UnrolledCircuit:
+    """Encode ``num_frames`` time frames of ``circuit``.
+
+    Parameters
+    ----------
+    prefix:
+        Distinguishes this unrolled copy from others in the same CNF.
+    shared_input_prefix:
+        If given, functional (non-key) primary inputs of frame ``t`` are
+        named ``f"{shared_input_prefix}{t}@{net}"`` *without* the copy
+        prefix, so two copies (the two key guesses of a miter) see the same
+        input sequence.
+    key_prefix:
+        If given, key inputs of every frame share the single net
+        ``f"{key_prefix}{net}"`` (the static-key assumption).  Otherwise keys
+        are per-copy but still shared across frames.
+    fix_initial_state:
+        Constrain frame 0's present state to each flip-flop's reset value.
+    """
+    key_set = set(circuit.key_inputs)
+    key_prefix = key_prefix if key_prefix is not None else f"{prefix}KEY@"
+    result = UnrolledCircuit(prefix=prefix, num_frames=num_frames)
+    result.key_nets = {net: f"{key_prefix}{net}" for net in circuit.key_inputs}
+
+    previous_next_state: Dict[str, str] = {}
+    for frame in range(num_frames):
+        frame_tag = f"{prefix}t{frame}@"
+        shared: Dict[str, str] = {}
+        inputs_map: Dict[str, str] = {}
+        for net in circuit.inputs:
+            if net in key_set:
+                shared[net] = result.key_nets[net]
+                inputs_map[net] = result.key_nets[net]
+            elif shared_input_prefix is not None:
+                shared_name = f"{shared_input_prefix}{frame}@{net}"
+                shared[net] = shared_name
+                inputs_map[net] = shared_name
+            else:
+                inputs_map[net] = f"{frame_tag}{net}"
+        # Present state of this frame is the captured next state of the
+        # previous frame (shared variable), or a fresh frame-0 variable.
+        states_map: Dict[str, str] = {}
+        for q in circuit.dffs:
+            if frame == 0:
+                states_map[q] = f"{frame_tag}{q}"
+            else:
+                states_map[q] = previous_next_state[q]
+                shared[q] = previous_next_state[q]
+
+        encoder.encode(circuit, prefix=frame_tag, shared_nets=shared)
+
+        outputs_map = {net: shared.get(net, f"{frame_tag}{net}") for net in circuit.outputs}
+        result.frame_inputs.append(inputs_map)
+        result.frame_outputs.append(outputs_map)
+        result.frame_states.append(states_map)
+
+        if frame == 0 and fix_initial_state:
+            for q, ff in circuit.dffs.items():
+                encoder.add_value(states_map[q], ff.init)
+
+        previous_next_state = {
+            q: f"{frame_tag}{ff.d}" if ff.d not in shared else shared[ff.d]
+            for q, ff in circuit.dffs.items()
+        }
+
+    return result

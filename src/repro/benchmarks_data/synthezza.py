@@ -1,0 +1,98 @@
+"""Synthezza-style FSM benchmarks (Table I and Table III).
+
+The Synthezza suite used by the paper is a collection of behavioural FSM
+benchmarks.  The stand-ins here are seeded random Mealy machines whose sizes
+grow through the paper's three groups (small / medium / large) and whose
+per-benchmark locking parameters (number of keys ``k`` and key size ``ki``)
+are taken directly from Table III, so the Cute-Lock-Beh experiments lock each
+benchmark exactly as reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.fsm.random_fsm import random_fsm
+from repro.fsm.stg import FSM
+
+
+@dataclass(frozen=True)
+class SynthezzaProfile:
+    """Size, group and Table III locking parameters for one FSM benchmark."""
+
+    name: str
+    group: str          # "small" | "medium" | "large"
+    num_states: int
+    num_inputs: int     # input bit width of the Mealy machine
+    num_outputs: int    # output bit width
+    num_keys: int       # k from Table III
+    key_width: int      # ki from Table III
+    seed: int
+
+
+def _profiles() -> List[SynthezzaProfile]:
+    small = [
+        ("bcomp", 6, 18), ("bech", 6, 18), ("bridge", 5, 16), ("cat", 3, 11),
+        ("checker9", 3, 10), ("cpu", 4, 14), ("dmac", 2, 7), ("e10", 3, 10),
+        ("e15", 4, 13), ("e16", 4, 13), ("e161", 5, 16), ("e17", 2, 8),
+    ]
+    medium = [
+        ("acdl", 5, 16), ("alf", 2, 31), ("amtz", 7, 23), ("ball", 4, 44),
+        ("bens", 7, 21), ("berg", 7, 21), ("bib", 7, 21), ("big", 6, 18),
+        ("bs", 6, 19), ("codec", 2, 4), ("codec1", 2, 28), ("cow", 6, 49),
+        ("cyr", 6, 20), ("dav", 6, 18), ("doron", 7, 22),
+    ]
+    large = [
+        ("absurd", 21, 65), ("bulln", 20, 61), ("camel", 19, 59),
+        ("exxm", 15, 47), ("lion", 18, 55), ("tiger", 17, 51),
+    ]
+    # Note: the paper lists "alf" with 0 keys (it is not lockable in their
+    # flow); we assign the minimum of 2 keys so the benchmark still exercises
+    # the pipeline, and record the deviation in EXPERIMENTS.md.
+    profiles: List[SynthezzaProfile] = []
+    for index, (name, k, ki) in enumerate(small):
+        profiles.append(SynthezzaProfile(
+            name=name, group="small", num_states=6 + (index % 4),
+            num_inputs=2, num_outputs=2, num_keys=k, key_width=ki,
+            seed=1000 + index,
+        ))
+    for index, (name, k, ki) in enumerate(medium):
+        profiles.append(SynthezzaProfile(
+            name=name, group="medium", num_states=12 + (index % 6),
+            num_inputs=3, num_outputs=3, num_keys=k, key_width=ki,
+            seed=2000 + index,
+        ))
+    for index, (name, k, ki) in enumerate(large):
+        profiles.append(SynthezzaProfile(
+            name=name, group="large", num_states=24 + 2 * (index % 5),
+            num_inputs=4, num_outputs=4, num_keys=k, key_width=ki,
+            seed=3000 + index,
+        ))
+    return profiles
+
+
+SYNTHEZZA_PROFILES: Dict[str, SynthezzaProfile] = {p.name: p for p in _profiles()}
+
+
+def synthezza_names(group: Optional[str] = None) -> List[str]:
+    """Benchmark names, optionally filtered by group (small/medium/large)."""
+    return [
+        name for name, profile in SYNTHEZZA_PROFILES.items()
+        if group is None or profile.group == group
+    ]
+
+
+def load_synthezza(name: str) -> FSM:
+    """Load the Synthezza-style FSM benchmark called ``name``."""
+    try:
+        profile = SYNTHEZZA_PROFILES[name]
+    except KeyError as exc:
+        raise KeyError(f"unknown Synthezza benchmark {name!r}") from exc
+    return random_fsm(
+        profile.num_states,
+        profile.num_inputs,
+        profile.num_outputs,
+        seed=profile.seed,
+        name=name,
+    )

@@ -1,0 +1,201 @@
+"""Command-line interface.
+
+``python -m repro <command>`` exposes the main workflows without writing any
+Python:
+
+* ``lock``      — lock a ``.bench`` netlist with Cute-Lock-Str (or a baseline)
+  and write the locked ``.bench`` plus the key schedule;
+* ``attack``    — run one of the attacks against a locked ``.bench`` netlist
+  given the oracle netlist;
+* ``overhead``  — report the 45 nm-model overhead of a locked netlist;
+* ``benchmarks`` — list the bundled benchmark suites and their parameters;
+* ``reproduce`` — regenerate the paper's evaluation (same as
+  ``examples/reproduce_paper.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+from repro.attacks import (
+    appsat_attack,
+    bmc_attack,
+    double_dip_attack,
+    fall_attack,
+    int_attack,
+    kc2_attack,
+    rane_attack,
+    sat_attack,
+)
+from repro.benchmarks_data import (
+    ISCAS89_PROFILES,
+    ITC99_PROFILES,
+    SYNTHEZZA_PROFILES,
+)
+from repro.locking.base import KeySchedule
+from repro.locking.baselines import lock_dklock, lock_harpoon, lock_rll, lock_sarlock, lock_ttlock
+from repro.locking.cutelock_str import CuteLockStr
+from repro.netlist.bench import load_bench, save_bench
+from repro.synthesis.overhead import analyze_circuit
+
+_ATTACKS: Dict[str, Callable] = {
+    "sat": sat_attack,
+    "appsat": appsat_attack,
+    "double-dip": double_dip_attack,
+    "bmc": bmc_attack,
+    "int": int_attack,
+    "kc2": kc2_attack,
+    "rane": rane_attack,
+}
+
+
+def _cmd_lock(args: argparse.Namespace) -> int:
+    circuit = load_bench(args.netlist)
+    if args.scheme == "cute-lock-str":
+        transform = CuteLockStr(
+            num_keys=args.keys, key_width=args.key_width,
+            num_locked_ffs=args.locked_ffs, seed=args.seed,
+        )
+        locked = transform.lock(circuit)
+    elif args.scheme == "rll":
+        locked = lock_rll(circuit, args.key_width, seed=args.seed)
+    elif args.scheme == "sarlock":
+        locked = lock_sarlock(circuit, num_key_bits=args.key_width, seed=args.seed)
+    elif args.scheme == "ttlock":
+        locked = lock_ttlock(circuit, num_key_bits=args.key_width, seed=args.seed)
+    elif args.scheme == "harpoon":
+        locked = lock_harpoon(circuit, key_width=args.key_width, seed=args.seed)
+    elif args.scheme == "dk-lock":
+        locked = lock_dklock(circuit, key_width=args.key_width, seed=args.seed)
+    else:  # pragma: no cover - argparse restricts choices
+        raise ValueError(f"unknown scheme {args.scheme}")
+
+    output = Path(args.output or f"{Path(args.netlist).stem}_{args.scheme}.bench")
+    save_bench(locked.circuit, output, header=f"locked with {locked.scheme}")
+    secret = {
+        "scheme": locked.scheme,
+        "key_inputs": locked.key_inputs,
+        "key_width": locked.key_width,
+        "schedule": list(locked.schedule.values),
+        "locked_ffs": locked.locked_ffs,
+    }
+    secret_path = output.with_suffix(".key.json")
+    secret_path.write_text(json.dumps(secret, indent=2))
+    print(f"locked netlist : {output}")
+    print(f"key schedule   : {secret_path}")
+    print(f"summary        : {locked.describe()}")
+    return 0
+
+
+def _cmd_attack(args: argparse.Namespace) -> int:
+    locked = load_bench(args.locked)
+    oracle = load_bench(args.oracle)
+    attack = _ATTACKS[args.attack]
+    result = attack(locked, oracle, time_limit=args.time_limit)
+    print(result.summary())
+    if args.json:
+        payload = {
+            "attack": result.attack,
+            "outcome": result.outcome.value,
+            "iterations": result.iterations,
+            "runtime_seconds": result.runtime_seconds,
+            "key": result.key,
+        }
+        Path(args.json).write_text(json.dumps(payload, indent=2))
+        print(f"result written to {args.json}")
+    return 0 if not result.broke_defense else 1
+
+
+def _cmd_overhead(args: argparse.Namespace) -> int:
+    circuit = load_bench(args.netlist)
+    cost = analyze_circuit(circuit, activity_vectors=args.vectors)
+    print(f"circuit    : {circuit.name}")
+    print(f"power (uW) : {cost.power_uw:.2f}")
+    print(f"area (um2) : {cost.area_um2:.2f}")
+    print(f"cells      : {cost.cell_count}")
+    print(f"IOs        : {cost.io_count}")
+    print(f"flip-flops : {cost.num_dffs}")
+    return 0
+
+
+def _cmd_benchmarks(args: argparse.Namespace) -> int:
+    if args.suite in ("synthezza", "all"):
+        print("# Synthezza-style FSM benchmarks (Table III)")
+        for name, profile in SYNTHEZZA_PROFILES.items():
+            print(f"  {name:10s} group={profile.group:6s} states={profile.num_states:3d} "
+                  f"k={profile.num_keys:2d} ki={profile.key_width:2d}")
+    if args.suite in ("iscas89", "all"):
+        print("# ISCAS'89-style benchmarks (Table IV)")
+        for name, profile in ISCAS89_PROFILES.items():
+            print(f"  {name:8s} inputs={profile.num_inputs:3d} dffs={profile.num_dffs:3d} "
+                  f"k={profile.num_keys:2d} ki={profile.key_width:2d}")
+    if args.suite in ("itc99", "all"):
+        print("# ITC'99-style benchmarks (Tables IV/V, Figure 4)")
+        for name, profile in ITC99_PROFILES.items():
+            print(f"  {name:4s} inputs={profile.num_inputs:3d} dffs={profile.num_dffs:3d} "
+                  f"k={profile.num_keys:2d} ki={profile.key_width:2d}")
+    return 0
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    from repro.experiments import run_all
+
+    run_all(quick=not args.full, attack_time_limit=args.time_limit,
+            output_path=args.output)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    lock = sub.add_parser("lock", help="lock a .bench netlist")
+    lock.add_argument("netlist")
+    lock.add_argument("--scheme", default="cute-lock-str",
+                      choices=["cute-lock-str", "rll", "sarlock", "ttlock",
+                               "harpoon", "dk-lock"])
+    lock.add_argument("--keys", type=int, default=4, help="number of key values (k)")
+    lock.add_argument("--key-width", type=int, default=2, help="bits per key value (ki)")
+    lock.add_argument("--locked-ffs", type=int, default=1)
+    lock.add_argument("--seed", type=int, default=0)
+    lock.add_argument("--output")
+    lock.set_defaults(func=_cmd_lock)
+
+    attack = sub.add_parser("attack", help="attack a locked .bench netlist")
+    attack.add_argument("locked")
+    attack.add_argument("oracle")
+    attack.add_argument("--attack", default="sat", choices=sorted(_ATTACKS))
+    attack.add_argument("--time-limit", type=float, default=60.0)
+    attack.add_argument("--json", help="write the result as JSON to this path")
+    attack.set_defaults(func=_cmd_attack)
+
+    overhead = sub.add_parser("overhead", help="report 45nm-model cost of a netlist")
+    overhead.add_argument("netlist")
+    overhead.add_argument("--vectors", type=int, default=64)
+    overhead.set_defaults(func=_cmd_overhead)
+
+    benches = sub.add_parser("benchmarks", help="list bundled benchmark suites")
+    benches.add_argument("--suite", default="all",
+                         choices=["all", "synthezza", "iscas89", "itc99"])
+    benches.set_defaults(func=_cmd_benchmarks)
+
+    reproduce = sub.add_parser("reproduce", help="regenerate the paper's evaluation")
+    reproduce.add_argument("--full", action="store_true")
+    reproduce.add_argument("--time-limit", type=float, default=20.0)
+    reproduce.add_argument("--output", default="experiments_report.md")
+    reproduce.set_defaults(func=_cmd_reproduce)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - module entry point
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""Experiment drivers that regenerate the paper's tables and figures.
+
+Each module exposes a ``run_*`` function returning an
+:class:`~repro.experiments.report.ExperimentTable` (or a small set of them)
+plus the raw row data, and the :mod:`repro.experiments.runner` module ties
+them together.  All drivers accept a ``quick`` flag: the default quick
+configuration uses a representative subset of benchmarks and tight attack
+budgets so the whole evaluation runs on a laptop in minutes; ``quick=False``
+sweeps every benchmark listed in the paper's tables.
+"""
+
+from repro.experiments.report import ExperimentTable, format_table
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+from repro.experiments.table3 import run_table3
+from repro.experiments.table4 import run_table4
+from repro.experiments.table5 import run_table5
+from repro.experiments.figure4 import run_figure4
+from repro.experiments.runner import run_all
+
+__all__ = [
+    "ExperimentTable",
+    "format_table",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "run_table5",
+    "run_figure4",
+    "run_all",
+]

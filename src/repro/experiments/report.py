@@ -1,0 +1,64 @@
+"""Report containers and text rendering for the experiment drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+Row = Dict[str, object]
+
+
+def format_table(rows: Sequence[Row], columns: Optional[Sequence[str]] = None) -> str:
+    """Render ``rows`` (list of dicts) as an aligned ASCII table."""
+    if not rows:
+        return "(no rows)"
+    columns = list(columns or rows[0].keys())
+
+    def render(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.3f}"
+        return str(value)
+
+    widths = {
+        column: max(len(column), *(len(render(row.get(column, ""))) for row in rows))
+        for column in columns
+    }
+    header = " | ".join(column.ljust(widths[column]) for column in columns)
+    separator = "-+-".join("-" * widths[column] for column in columns)
+    body = [
+        " | ".join(render(row.get(column, "")).ljust(widths[column]) for column in columns)
+        for row in rows
+    ]
+    return "\n".join([header, separator, *body])
+
+
+@dataclass
+class ExperimentTable:
+    """One regenerated table/figure: a title, ordered columns and dict rows."""
+
+    name: str
+    title: str
+    columns: List[str]
+    rows: List[Row] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, **values: object) -> None:
+        self.rows.append(dict(values))
+
+    def to_text(self) -> str:
+        lines = [f"## {self.name}: {self.title}", ""]
+        lines.append(format_table(self.rows, self.columns))
+        if self.notes:
+            lines.append("")
+            for note in self.notes:
+                lines.append(f"* {note}")
+        return "\n".join(lines)
+
+    def write(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.write_text(self.to_text() + "\n")
+        return path
+
+    def column(self, name: str) -> List[object]:
+        return [row.get(name) for row in self.rows]

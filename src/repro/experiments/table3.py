@@ -1,0 +1,105 @@
+"""Table III — Cute-Lock-Beh security against oracle-guided logic attacks.
+
+For every Synthezza benchmark the paper locks the FSM with Cute-Lock-Beh
+(using the per-benchmark ``k`` / ``ki`` of Table III) and runs the three NEOS
+attack modes — BBO, INT and KC2.  The expected result is that none of them
+recovers a working key (outcomes are CNS / wrong key / fail / timeout), while
+the attack runtimes grow with benchmark size.
+
+The driver mirrors that sweep with the reproduction's attack implementations
+(:func:`~repro.attacks.bmc_attack.bmc_attack`,
+:func:`~repro.attacks.kc2.int_attack`, :func:`~repro.attacks.kc2.kc2_attack`)
+on the Synthezza stand-in FSMs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.attacks.bmc_attack import bmc_attack
+from repro.attacks.kc2 import int_attack, kc2_attack
+from repro.attacks.results import AttackResult, format_runtime
+from repro.benchmarks_data.synthezza import SYNTHEZZA_PROFILES, load_synthezza, synthezza_names
+from repro.experiments.report import ExperimentTable
+from repro.locking.cutelock_beh import CuteLockBeh
+
+#: Benchmarks exercised in quick mode: one per size group.
+QUICK_BENCHMARKS = ("bcomp", "acdl", "exxm")
+
+#: The NEOS modes reproduced (column name -> attack callable).
+ATTACKS: Dict[str, Callable[..., AttackResult]] = {
+    "BBO": bmc_attack,
+    "INT": int_attack,
+    "KC2": kc2_attack,
+}
+
+
+def run_table3(
+    *,
+    quick: bool = True,
+    benchmarks: Optional[Sequence[str]] = None,
+    attacks: Optional[Sequence[str]] = None,
+    time_limit: float = 20.0,
+    max_depth: int = 8,
+    synthesis_style: str = "auto",
+    seed: int = 3,
+) -> Tuple[ExperimentTable, Dict[str, List[AttackResult]]]:
+    """Regenerate Table III.
+
+    Parameters
+    ----------
+    quick:
+        Run the representative subset (:data:`QUICK_BENCHMARKS`) instead of
+        all 33 Synthezza benchmarks.
+    benchmarks / attacks:
+        Explicit benchmark / attack-mode selections (override ``quick``).
+    time_limit / max_depth:
+        Per-attack budget.
+    """
+    if benchmarks is None:
+        benchmarks = QUICK_BENCHMARKS if quick else synthezza_names()
+    attack_names = list(attacks or ATTACKS.keys())
+
+    table = ExperimentTable(
+        name="Table III",
+        title="Cute-Lock-Beh security against logic attacks (NEOS BBO/INT/KC2 stand-ins)",
+        columns=["Circuit", "Group", "# Keys (k)", "Key Size (ki)"]
+        + [f"{name} outcome" for name in attack_names]
+        + [f"{name} time" for name in attack_names],
+    )
+    raw: Dict[str, List[AttackResult]] = {}
+
+    for name in benchmarks:
+        profile = SYNTHEZZA_PROFILES[name]
+        fsm = load_synthezza(name)
+        locked_fsm = CuteLockBeh(
+            num_keys=profile.num_keys, key_width=profile.key_width, seed=seed
+        ).lock(fsm)
+        locked = locked_fsm.synthesize(style=synthesis_style)
+
+        row: Dict[str, object] = {
+            "Circuit": name,
+            "Group": profile.group,
+            "# Keys (k)": profile.num_keys,
+            "Key Size (ki)": profile.key_width,
+        }
+        results: List[AttackResult] = []
+        for attack_name in attack_names:
+            attack = ATTACKS[attack_name]
+            result = attack(locked, time_limit=time_limit, max_depth=max_depth)
+            results.append(result)
+            row[f"{attack_name} outcome"] = result.outcome.value
+            row[f"{attack_name} time"] = format_runtime(result.runtime_seconds)
+        raw[name] = results
+        table.add_row(**row)
+
+    broken = [
+        (name, result.attack)
+        for name, results in raw.items()
+        for result in results
+        if result.broke_defense
+    ]
+    table.notes.append(
+        "no attack recovered a working key" if not broken else f"BROKEN: {broken}"
+    )
+    return table, raw

@@ -1,0 +1,90 @@
+"""Graphviz DOT export of STGs and locked STGs.
+
+The paper illustrates Cute-Lock-Beh with state-transition-graph drawings
+(Fig. 1: original, encrypted and wrongful STGs).  These helpers emit the same
+three views as DOT text so they can be rendered with Graphviz or inspected in
+tests; no external dependency is required to *generate* the text.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.fsm.stg import FSM
+
+
+def _escape(label: str) -> str:
+    return label.replace('"', '\\"')
+
+
+def fsm_to_dot(fsm: FSM, *, name: Optional[str] = None, rankdir: str = "LR") -> str:
+    """Render an FSM as a Graphviz digraph (Mealy edge labels ``input/output``)."""
+    lines = [f'digraph "{_escape(name or fsm.name)}" {{', f"  rankdir={rankdir};"]
+    lines.append('  __reset [shape=point, label=""];')
+    lines.append(f'  __reset -> "{_escape(fsm.reset_state)}";')
+    for state in fsm.states:
+        shape = "doublecircle" if state == fsm.reset_state else "circle"
+        lines.append(f'  "{_escape(state)}" [shape={shape}];')
+    for transition in fsm.transitions():
+        width = max(fsm.num_inputs, 1)
+        label = f"{transition.input_value:0{width}b}/{transition.output_value}"
+        lines.append(
+            f'  "{_escape(transition.source)}" -> "{_escape(transition.next_state)}" '
+            f'[label="{label}"];'
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def wrongful_map_to_dot(
+    fsm: FSM,
+    wrongful: Dict[Tuple[str, int], str],
+    *,
+    name: Optional[str] = None,
+) -> str:
+    """Render the wrongful STG (Fig. 1(3)): the transitions taken on wrong keys."""
+    lines = [f'digraph "{_escape(name or fsm.name + "_wrongful")}" {{', "  rankdir=LR;"]
+    for state in fsm.states:
+        lines.append(f'  "{_escape(state)}" [shape=circle];')
+    width = max(fsm.num_inputs, 1)
+    for (state, value), wrong_next in sorted(wrongful.items()):
+        lines.append(
+            f'  "{_escape(state)}" -> "{_escape(wrong_next)}" '
+            f'[label="{value:0{width}b}", style=dashed, color=red];'
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def locked_fsm_to_dot(locked_fsm, *, name: Optional[str] = None) -> str:
+    """Render the encrypted STG of a :class:`~repro.locking.cutelock_beh.LockedFSM`.
+
+    Correct transitions are drawn solid and annotated with the counter time
+    and scheduled key that enable them; wrongful transitions are drawn dashed
+    in red, mirroring Fig. 1(2) of the paper.
+    """
+    fsm = locked_fsm.fsm
+    schedule = locked_fsm.schedule
+    lines = [f'digraph "{_escape(name or fsm.name + "_cutelock_beh")}" {{', "  rankdir=LR;"]
+    lines.append('  __reset [shape=point, label=""];')
+    lines.append(f'  __reset -> "{_escape(fsm.reset_state)}";')
+    for state in fsm.states:
+        lines.append(f'  "{_escape(state)}" [shape=circle];')
+    width = max(fsm.num_inputs, 1)
+    key_hex_width = (schedule.width + 3) // 4
+    for transition in fsm.transitions():
+        keys = "|".join(
+            f"t{t}:0x{value:0{key_hex_width}x}" for t, value in enumerate(schedule.values)
+        )
+        label = f"{transition.input_value:0{width}b}/{transition.output_value} [{keys}]"
+        lines.append(
+            f'  "{_escape(transition.source)}" -> "{_escape(transition.next_state)}" '
+            f'[label="{label}"];'
+        )
+    for (state, value), wrong_next in sorted(locked_fsm.wrongful.items()):
+        lines.append(
+            f'  "{_escape(state)}" -> "{_escape(wrong_next)}" '
+            f'[label="{value:0{width}b}/wrong key", style=dashed, color=red];'
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"

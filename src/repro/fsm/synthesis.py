@@ -1,0 +1,308 @@
+"""Synthesis of FSMs (STGs) and truth tables into gate-level circuits.
+
+This is the reproduction's stand-in for the Vivado synthesis step of the
+paper's behavioural flow: a locked (or original) STG is turned into a
+sequential netlist that the attacks and the overhead model can consume.
+
+Two synthesis styles are provided:
+
+* ``"sop"`` — two-level sum-of-products via Quine–McCluskey (compact for
+  small functions);
+* ``"mux"`` — Shannon decomposition into a shared MUX network (robust for
+  wider functions, structurally similar to what FPGA synthesis emits).
+
+``"auto"`` (the default) picks SOP for functions of at most
+:data:`SOP_VARIABLE_LIMIT` variables and MUX decomposition above that.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.fsm.encoding import StateEncoding, binary_encoding
+from repro.fsm.minimize import Implicant, quine_mccluskey
+from repro.fsm.stg import FSM, FSMError
+from repro.netlist.circuit import Circuit
+from repro.netlist.gates import GateType
+
+#: Functions with more variables than this use Shannon/MUX decomposition.
+SOP_VARIABLE_LIMIT = 10
+
+
+class TruthTable:
+    """A single-output Boolean function over ``num_vars`` variables.
+
+    The on-set and care-set are stored as integer bitmasks indexed by the
+    packed input assignment (variable 0 = LSB).
+    """
+
+    def __init__(self, num_vars: int, onset: int = 0, careset: Optional[int] = None) -> None:
+        self.num_vars = num_vars
+        self.size = 1 << num_vars
+        self.onset = onset
+        self.careset = careset if careset is not None else (1 << self.size) - 1
+
+    @classmethod
+    def from_function(cls, num_vars: int, func: Callable[[int], Optional[int]]) -> "TruthTable":
+        """Build from a callable returning 0, 1 or ``None`` (don't care)."""
+        onset = 0
+        careset = 0
+        for row in range(1 << num_vars):
+            value = func(row)
+            if value is None:
+                continue
+            careset |= 1 << row
+            if value:
+                onset |= 1 << row
+        return cls(num_vars, onset, careset)
+
+    def value(self, row: int) -> Optional[int]:
+        """The function value at ``row`` (None if don't-care)."""
+        if not (self.careset >> row) & 1:
+            return None
+        return (self.onset >> row) & 1
+
+    def minterms(self) -> List[int]:
+        return [r for r in range(self.size) if (self.careset >> r) & 1 and (self.onset >> r) & 1]
+
+    def dont_cares(self) -> List[int]:
+        return [r for r in range(self.size) if not (self.careset >> r) & 1]
+
+    def is_constant(self) -> Optional[int]:
+        """0/1 if every care row has that value, else None."""
+        has_one = any((self.onset >> r) & 1 for r in range(self.size) if (self.careset >> r) & 1)
+        has_zero = any(
+            not (self.onset >> r) & 1 for r in range(self.size) if (self.careset >> r) & 1
+        )
+        if not has_one:
+            return 0
+        if not has_zero:
+            return 1
+        return None
+
+    def cofactors(self) -> Tuple["TruthTable", "TruthTable"]:
+        """Shannon cofactors with respect to the highest variable.
+
+        Returns ``(f_var=0, f_var=1)`` over ``num_vars - 1`` variables.
+        """
+        if self.num_vars == 0:
+            raise ValueError("cannot cofactor a 0-variable function")
+        half = 1 << (self.num_vars - 1)
+        low_mask = (1 << half) - 1
+        f0 = TruthTable(self.num_vars - 1, self.onset & low_mask, self.careset & low_mask)
+        f1 = TruthTable(
+            self.num_vars - 1, (self.onset >> half) & low_mask, (self.careset >> half) & low_mask
+        )
+        return f0, f1
+
+    def key(self) -> Tuple[int, int, int]:
+        """Hashable identity used for structural sharing during synthesis."""
+        return (self.num_vars, self.onset & self.careset, self.careset)
+
+
+# --------------------------------------------------------------------------- #
+# gate emission helpers
+# --------------------------------------------------------------------------- #
+def _emit_constant(circuit: Circuit, value: int, prefix: str) -> str:
+    net = circuit.fresh_net(f"{prefix}_const{value}")
+    circuit.add_gate(net, GateType.CONST1 if value else GateType.CONST0, [])
+    return net
+
+
+def _emit_sop(
+    circuit: Circuit,
+    cover: Sequence[Implicant],
+    input_nets: Sequence[str],
+    prefix: str,
+) -> str:
+    """Emit NOT/AND/OR gates for an SOP cover; returns the driving net."""
+    if not cover:
+        return _emit_constant(circuit, 0, prefix)
+    inverted: Dict[str, str] = {}
+
+    def inverted_net(net: str) -> str:
+        if net not in inverted:
+            inv = circuit.fresh_net(f"{prefix}_not")
+            circuit.add_gate(inv, GateType.NOT, [net])
+            inverted[net] = inv
+        return inverted[net]
+
+    term_nets: List[str] = []
+    for implicant in cover:
+        literals = implicant.literals()
+        if not literals:
+            return _emit_constant(circuit, 1, prefix)
+        nets = [
+            input_nets[var] if positive else inverted_net(input_nets[var])
+            for var, positive in literals
+        ]
+        if len(nets) == 1:
+            term_nets.append(nets[0])
+        else:
+            term = circuit.fresh_net(f"{prefix}_and")
+            circuit.add_gate(term, GateType.AND, nets)
+            term_nets.append(term)
+    if len(term_nets) == 1:
+        result = circuit.fresh_net(f"{prefix}_buf")
+        circuit.add_gate(result, GateType.BUF, [term_nets[0]])
+        return result
+    result = circuit.fresh_net(f"{prefix}_or")
+    circuit.add_gate(result, GateType.OR, term_nets)
+    return result
+
+
+def _emit_mux_tree(
+    circuit: Circuit,
+    table: TruthTable,
+    input_nets: Sequence[str],
+    prefix: str,
+    cache: Dict[Tuple[int, int, int], str],
+) -> str:
+    """Emit a Shannon/MUX decomposition of ``table``; returns the driving net."""
+    constant = table.is_constant()
+    if constant is not None:
+        key = (0, constant, -1)
+        if key not in cache:
+            cache[key] = _emit_constant(circuit, constant, prefix)
+        return cache[key]
+
+    key = table.key()
+    cached = cache.get(key)
+    if cached is not None:
+        return cached
+
+    select_net = input_nets[table.num_vars - 1]
+    f0, f1 = table.cofactors()
+    low = _emit_mux_tree(circuit, f0, input_nets, prefix, cache)
+    high = _emit_mux_tree(circuit, f1, input_nets, prefix, cache)
+    if low == high:
+        cache[key] = low
+        return low
+    out = circuit.fresh_net(f"{prefix}_mux")
+    circuit.add_gate(out, GateType.MUX, [select_net, low, high])
+    cache[key] = out
+    return out
+
+
+def synthesize_truth_table(
+    circuit: Circuit,
+    table: TruthTable,
+    input_nets: Sequence[str],
+    *,
+    prefix: str = "f",
+    style: str = "auto",
+    cache: Optional[Dict[Tuple[int, int, int], str]] = None,
+) -> str:
+    """Synthesise one truth table into ``circuit``; returns the driving net.
+
+    ``input_nets[i]`` is the net of variable ``i`` (LSB of the packed row
+    index).  ``cache`` may be shared across calls to let MUX-style synthesis
+    reuse identical sub-functions between outputs.
+    """
+    if len(input_nets) != table.num_vars:
+        raise ValueError("input_nets length must equal the table's variable count")
+    constant = table.is_constant()
+    if constant is not None:
+        return _emit_constant(circuit, constant, prefix)
+    if style == "auto":
+        style = "sop" if table.num_vars <= SOP_VARIABLE_LIMIT else "mux"
+    if style == "sop":
+        cover = quine_mccluskey(
+            table.minterms(), table.num_vars, dont_cares=table.dont_cares()
+        )
+        return _emit_sop(circuit, cover, input_nets, prefix)
+    if style == "mux":
+        cache = cache if cache is not None else {}
+        return _emit_mux_tree(circuit, table, input_nets, prefix, cache)
+    raise ValueError(f"unknown synthesis style {style!r}")
+
+
+# --------------------------------------------------------------------------- #
+# FSM synthesis
+# --------------------------------------------------------------------------- #
+def synthesize_fsm(
+    fsm: FSM,
+    *,
+    encoding: Optional[StateEncoding] = None,
+    style: str = "auto",
+    input_prefix: str = "in",
+    output_prefix: str = "out",
+    state_prefix: str = "state",
+    name: Optional[str] = None,
+) -> Circuit:
+    """Synthesise a Mealy FSM into a sequential gate-level circuit.
+
+    The resulting circuit has primary inputs ``in_0 … in_{n-1}`` (LSB first),
+    primary outputs ``out_0 … out_{m-1}`` (LSB first) and one DFF per state
+    bit named ``state_0 …``.  Unused state codes are exploited as don't-cares.
+    """
+    encoding = encoding or binary_encoding(fsm)
+    width = encoding.width
+    num_vars = width + fsm.num_inputs
+
+    circuit = Circuit(name=name or fsm.name)
+    input_nets = [f"{input_prefix}_{i}" for i in range(fsm.num_inputs)]
+    for net in input_nets:
+        circuit.add_input(net)
+    state_nets = [f"{state_prefix}_{i}" for i in range(width)]
+    output_nets = [f"{output_prefix}_{i}" for i in range(fsm.num_outputs)]
+
+    # Variable order: state bits are the low variables, inputs the high ones.
+    variable_nets = state_nets + input_nets
+    code_of_state: Dict[str, int] = {s: encoding.code_of(s) for s in fsm.states}
+    state_of_code: Dict[int, str] = {}
+    for state, code in code_of_state.items():
+        if code in state_of_code:
+            raise FSMError(f"encoding maps two states to code {code}")
+        state_of_code[code] = state
+
+    def row_lookup(row: int) -> Optional[Tuple[str, int]]:
+        """Decode a truth-table row into (state, input value); None if unused."""
+        state_code = row & ((1 << width) - 1)
+        input_value = row >> width
+        state = state_of_code.get(state_code)
+        if state is None:
+            return None
+        return state, input_value
+
+    def next_state_bit(bit: int) -> Callable[[int], Optional[int]]:
+        def func(row: int) -> Optional[int]:
+            decoded = row_lookup(row)
+            if decoded is None:
+                return None
+            state, value = decoded
+            next_state, _ = fsm.next(state, value)
+            return (code_of_state[next_state] >> bit) & 1
+
+        return func
+
+    def output_bit(bit: int) -> Callable[[int], Optional[int]]:
+        def func(row: int) -> Optional[int]:
+            decoded = row_lookup(row)
+            if decoded is None:
+                return None
+            state, value = decoded
+            _, out = fsm.next(state, value)
+            return (out >> bit) & 1
+
+        return func
+
+    shared_cache: Dict[Tuple[int, int, int], str] = {}
+    reset_code = code_of_state[fsm.reset_state]
+
+    for bit, q_net in enumerate(state_nets):
+        table = TruthTable.from_function(num_vars, next_state_bit(bit))
+        d_net = synthesize_truth_table(
+            circuit, table, variable_nets, prefix=f"ns{bit}", style=style, cache=shared_cache
+        )
+        circuit.add_dff(q_net, d_net, init=(reset_code >> bit) & 1)
+
+    for bit, out_net in enumerate(output_nets):
+        table = TruthTable.from_function(num_vars, output_bit(bit))
+        driver = synthesize_truth_table(
+            circuit, table, variable_nets, prefix=f"o{bit}", style=style, cache=shared_cache
+        )
+        circuit.add_gate(out_net, GateType.BUF, [driver])
+        circuit.add_output(out_net)
+
+    return circuit

@@ -1,0 +1,109 @@
+"""Anti-SAT (Xie & Srivastava, TCAD 2019).
+
+The Anti-SAT block drives a flip signal from two complementary functions of
+the (input XOR key) vectors::
+
+    flip = AND(X ⊕ K_A)  AND  NAND(X ⊕ K_B)
+
+With the correct keys (``K_A == K_B`` complementary patterns chosen so the
+two halves never assert together) the flip signal is constantly 0; a wrong
+key turns it into a point function of the inputs, corrupting one pattern.
+The block's output corruptibility is tiny, which keeps the exact SAT attack
+busy for ~2^n iterations but makes the scheme fall to AppSAT.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.locking.base import KeySchedule, LockedCircuit, LockingError
+from repro.netlist.circuit import Circuit
+from repro.netlist.gates import GateType
+
+KEY_INPUT_PREFIX = "keyinput"
+
+
+def lock_antisat(
+    circuit: Circuit,
+    *,
+    block_width: Optional[int] = None,
+    target_output: Optional[str] = None,
+    seed: int = 0,
+) -> LockedCircuit:
+    """Attach an Anti-SAT block of ``block_width`` inputs to one output.
+
+    The key has ``2 * block_width`` bits: the first half feeds the AND-tree
+    function, the second half the NAND-tree function.  The correct key sets
+    both halves to the same secret pattern ``P`` so that
+    ``AND(X⊕P) AND NAND(X⊕P) == 0`` for every ``X``.
+    """
+    rng = random.Random(seed)
+    functional = circuit.functional_inputs
+    if not functional:
+        raise LockingError("Anti-SAT requires at least one functional primary input")
+    width = block_width if block_width is not None else min(len(functional), 8)
+    width = min(width, len(functional))
+    if width < 1:
+        raise LockingError("Anti-SAT block width must be at least 1")
+    block_inputs = functional[:width]
+
+    original = circuit.copy()
+    locked = circuit.copy(name=f"{circuit.name}_antisat")
+
+    key_inputs: List[str] = []
+    for index in range(2 * width):
+        net = f"{KEY_INPUT_PREFIX}{index}"
+        locked.add_input(net, is_key=True)
+        key_inputs.append(net)
+    keys_a, keys_b = key_inputs[:width], key_inputs[width:]
+
+    secret_pattern = rng.randrange(1 << width)
+    key_value = 0
+    for half in (secret_pattern, secret_pattern):
+        key_value = (key_value << width) | half
+
+    def xor_bank(inputs: List[str], keys: List[str], prefix: str) -> List[str]:
+        nets = []
+        for a, k in zip(inputs, keys):
+            net = locked.fresh_net(f"{prefix}_x")
+            locked.add_gate(net, GateType.XOR, [a, k])
+            nets.append(net)
+        return nets
+
+    bank_a = xor_bank(block_inputs, keys_a, "asat_a")
+    bank_b = xor_bank(block_inputs, keys_b, "asat_b")
+
+    if len(bank_a) == 1:
+        g_net = locked.fresh_net("asat_g")
+        locked.add_gate(g_net, GateType.BUF, bank_a)
+        gbar_net = locked.fresh_net("asat_gb")
+        locked.add_gate(gbar_net, GateType.NOT, bank_b)
+    else:
+        g_net = locked.fresh_net("asat_g")
+        locked.add_gate(g_net, GateType.AND, bank_a)
+        gbar_net = locked.fresh_net("asat_gb")
+        locked.add_gate(gbar_net, GateType.NAND, bank_b)
+    flip = locked.fresh_net("asat_flip")
+    locked.add_gate(flip, GateType.AND, [g_net, gbar_net])
+
+    target_output = target_output or circuit.outputs[0]
+    if target_output not in locked.gates:
+        gate_driven = [o for o in locked.outputs if o in locked.gates]
+        if not gate_driven:
+            raise LockingError("Anti-SAT needs at least one gate-driven primary output")
+        target_output = gate_driven[0]
+    gate = locked.remove_gate(target_output)
+    pre_net = f"{target_output}__pre"
+    locked.gates[pre_net] = gate.remapped({target_output: pre_net})
+    locked.add_gate(target_output, GateType.XOR, [pre_net, flip])
+
+    schedule = KeySchedule(width=2 * width, values=(key_value,))
+    return LockedCircuit(
+        circuit=locked,
+        original=original,
+        schedule=schedule,
+        key_inputs=key_inputs,
+        scheme="anti-sat",
+        metadata={"block_inputs": block_inputs, "target_output": target_output},
+    )

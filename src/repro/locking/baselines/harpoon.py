@@ -1,0 +1,129 @@
+"""HARPOON-style sequential obfuscation-mode locking (Chakraborty & Bhunia).
+
+HARPOON prepends an *obfuscation mode* to the original FSM: after reset the
+design is stuck in added obfuscation states and only reaches the functional
+mode after a specific unlocking input/key sequence has been applied for a
+number of cycles.  While locked, outputs and state updates are corrupted.
+
+The netlist-level realisation used here:
+
+* a mode counter of ``unlock_cycles`` steps advances only while the key pins
+  carry the expected unlock word (a single static word, as in the original
+  scheme's enabling sequence);
+* an ``unlocked`` flag FF latches once the counter completes;
+* until then, every original flip-flop holds its reset value and every
+  primary output is masked to 0.
+
+This is a *single-key* sequential scheme: once the static unlock word leaks,
+the whole design is open — the contrast the paper draws with multi-key
+locking.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.locking.base import KeySchedule, LockedCircuit, LockingError
+from repro.locking.counter import insert_counter
+from repro.netlist.circuit import Circuit
+from repro.netlist.gates import GateType
+
+KEY_INPUT_PREFIX = "keyinput"
+
+
+def lock_harpoon(
+    circuit: Circuit,
+    *,
+    key_width: int = 4,
+    unlock_cycles: int = 3,
+    seed: int = 0,
+    key_value: Optional[int] = None,
+) -> LockedCircuit:
+    """Add a HARPOON-style obfuscation mode in front of ``circuit``."""
+    if not circuit.dffs:
+        raise LockingError("HARPOON locking requires a sequential circuit")
+    if key_width < 1 or unlock_cycles < 1:
+        raise LockingError("key_width and unlock_cycles must be positive")
+    rng = random.Random(seed)
+    original = circuit.copy()
+    locked = circuit.copy(name=f"{circuit.name}_harpoon")
+    if key_value is None:
+        key_value = rng.randrange(1 << key_width)
+
+    key_inputs: List[str] = []
+    for index in range(key_width):
+        net = f"{KEY_INPUT_PREFIX}{index}"
+        locked.add_input(net, is_key=True)
+        key_inputs.append(net)
+
+    # Key comparator (static unlock word).
+    cmp_terms = []
+    for index, net in enumerate(key_inputs):
+        bit = (key_value >> (key_width - 1 - index)) & 1
+        if bit:
+            cmp_terms.append(net)
+        else:
+            inv = locked.fresh_net("hp_kinv")
+            locked.add_gate(inv, GateType.NOT, [net])
+            cmp_terms.append(inv)
+    key_match = locked.fresh_net("hp_match")
+    if len(cmp_terms) == 1:
+        locked.add_gate(key_match, GateType.BUF, [cmp_terms[0]])
+    else:
+        locked.add_gate(key_match, GateType.AND, cmp_terms)
+
+    # Mode progression: an obfuscation-state counter that only advances while
+    # the unlock word is present, plus a sticky "unlocked" flag.
+    counter = insert_counter(locked, unlock_cycles + 1, prefix="hp_cnt", saturate=True)
+    # Gate the counter's advance on the key match: freeze D to current Q when
+    # the key is wrong and the design is still locked.
+    unlocked_q = "hp_unlocked"
+    done_net = counter.decode_nets[unlock_cycles]
+    unlocked_d = locked.fresh_net("hp_unlock_d")
+    locked.add_gate(unlocked_d, GateType.OR, [unlocked_q, done_net])
+    locked.add_dff(unlocked_q, unlocked_d, init=0)
+
+    # The design is "active" while the unlock word is present or once the
+    # sticky flag has latched (holding the word for ``unlock_cycles`` makes
+    # the unlock permanent).  Applying the correct static key from reset thus
+    # yields behaviour identical to the original design from cycle 0, which
+    # is the property the oracle-guided attacks exploit to break HARPOON.
+    active = locked.fresh_net("hp_active")
+    locked.add_gate(active, GateType.OR, [key_match, unlocked_q])
+    for q_net in counter.state_nets:
+        ff = locked.dffs[q_net]
+        gated = locked.fresh_net("hp_gate")
+        locked.add_gate(gated, GateType.MUX, [active, q_net, ff.d])
+        locked.replace_dff_input(q_net, gated)
+
+    # While locked: original flip-flops hold reset, outputs masked to 0.
+    for q_net, ff in list(original.dffs.items()):
+        locked_ff = locked.dffs[q_net]
+        reset_const = locked.fresh_net("hp_rst")
+        locked.add_gate(
+            reset_const, GateType.CONST1 if ff.init else GateType.CONST0, []
+        )
+        held = locked.fresh_net("hp_hold")
+        locked.add_gate(held, GateType.MUX, [active, reset_const, locked_ff.d])
+        locked.replace_dff_input(q_net, held)
+
+    for out in list(locked.outputs):
+        if out not in locked.gates:
+            continue
+        gate = locked.remove_gate(out)
+        pre_net = f"{out}__pre"
+        locked.gates[pre_net] = gate.remapped({out: pre_net})
+        locked.add_gate(out, GateType.AND, [pre_net, active])
+
+    schedule = KeySchedule(width=key_width, values=(key_value,))
+    return LockedCircuit(
+        circuit=locked,
+        original=original,
+        schedule=schedule,
+        key_inputs=key_inputs,
+        scheme="harpoon",
+        counter_nets=list(counter.state_nets) + [unlocked_q],
+        locked_ffs=list(original.dffs.keys()),
+        metadata={"unlock_cycles": unlock_cycles},
+    )

@@ -1,0 +1,73 @@
+"""Random logic locking (RLL / EPIC-style XOR-XNOR key gates).
+
+The earliest combinational locking scheme: key gates (XOR for a correct key
+bit of 0, XNOR for 1) are spliced onto randomly selected internal nets.  RLL
+is broken by the basic SAT attack in a handful of DIPs, which is exactly the
+sanity role it plays in this reproduction's test-suite and benchmark
+baselines.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.locking.base import KeySchedule, LockedCircuit, LockingError
+from repro.netlist.circuit import Circuit
+from repro.netlist.gates import GateType
+
+KEY_INPUT_PREFIX = "keyinput"
+
+
+def lock_rll(
+    circuit: Circuit,
+    num_key_bits: int,
+    *,
+    seed: int = 0,
+    key_value: Optional[int] = None,
+) -> LockedCircuit:
+    """Insert ``num_key_bits`` XOR/XNOR key gates on random internal nets.
+
+    Each selected net ``n`` (a gate output) is renamed to ``n__pre`` and the
+    original name is re-driven by ``XOR(n__pre, key_i)`` or
+    ``XNOR(n__pre, key_i)`` depending on the correct key bit, so all fanout
+    of ``n`` (including flip-flop D pins and primary outputs) sees the keyed
+    value.
+    """
+    if num_key_bits < 1:
+        raise LockingError("num_key_bits must be at least 1")
+    rng = random.Random(seed)
+    original = circuit.copy()
+    locked = circuit.copy(name=f"{circuit.name}_rll")
+
+    candidates = list(locked.gates.keys())
+    if not candidates:
+        raise LockingError("RLL requires at least one combinational gate")
+    if len(candidates) < num_key_bits:
+        num_key_bits = len(candidates)
+    targets = rng.sample(candidates, num_key_bits)
+
+    if key_value is None:
+        key_value = rng.randrange(1 << num_key_bits)
+    key_inputs: List[str] = []
+    for index, target in enumerate(targets):
+        key_net = f"{KEY_INPUT_PREFIX}{index}"
+        locked.add_input(key_net, is_key=True)
+        key_inputs.append(key_net)
+        key_bit = (key_value >> (num_key_bits - 1 - index)) & 1
+
+        gate = locked.remove_gate(target)
+        pre_net = f"{target}__pre"
+        locked.gates[pre_net] = gate.remapped({target: pre_net})
+        gate_type = GateType.XNOR if key_bit else GateType.XOR
+        locked.add_gate(target, gate_type, [pre_net, key_net])
+
+    schedule = KeySchedule(width=num_key_bits, values=(key_value,))
+    return LockedCircuit(
+        circuit=locked,
+        original=original,
+        schedule=schedule,
+        key_inputs=key_inputs,
+        scheme="rll",
+        metadata={"targets": targets},
+    )

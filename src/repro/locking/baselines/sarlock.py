@@ -1,0 +1,127 @@
+"""SAR-Lock (Yasin et al., HOST 2016).
+
+SARLock adds a comparator between the functional inputs and the key inputs:
+the protected output is flipped whenever the applied input equals the applied
+key *and* the key is not the correct one.  Every wrong key therefore corrupts
+exactly one input pattern, which forces the SAT attack to spend one DIP per
+wrong key (exponential iterations) — but leaves the scheme with negligible
+output corruption, the weakness AppSAT and DoubleDIP exploit.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.locking.base import KeySchedule, LockedCircuit, LockingError
+from repro.netlist.circuit import Circuit
+from repro.netlist.gates import GateType
+
+KEY_INPUT_PREFIX = "keyinput"
+
+
+def _comparator(circuit: Circuit, nets_a: List[str], nets_b: List[str], prefix: str) -> str:
+    """Net that is 1 iff the two equal-length vectors are bit-wise equal."""
+    xnor_nets = []
+    for a, b in zip(nets_a, nets_b):
+        net = circuit.fresh_net(f"{prefix}_eq")
+        circuit.add_gate(net, GateType.XNOR, [a, b])
+        xnor_nets.append(net)
+    if len(xnor_nets) == 1:
+        return xnor_nets[0]
+    out = circuit.fresh_net(f"{prefix}_cmp")
+    circuit.add_gate(out, GateType.AND, xnor_nets)
+    return out
+
+
+def _pattern_comparator(circuit: Circuit, nets: List[str], pattern: int, prefix: str) -> str:
+    """Net that is 1 iff ``nets`` (MSB first) carry the constant ``pattern``."""
+    width = len(nets)
+    terms = []
+    for index, net in enumerate(nets):
+        bit = (pattern >> (width - 1 - index)) & 1
+        if bit:
+            terms.append(net)
+        else:
+            inv = circuit.fresh_net(f"{prefix}_inv")
+            circuit.add_gate(inv, GateType.NOT, [net])
+            terms.append(inv)
+    if len(terms) == 1:
+        return terms[0]
+    out = circuit.fresh_net(f"{prefix}_pat")
+    circuit.add_gate(out, GateType.AND, terms)
+    return out
+
+
+def lock_sarlock(
+    circuit: Circuit,
+    *,
+    num_key_bits: Optional[int] = None,
+    target_output: Optional[str] = None,
+    seed: int = 0,
+    key_value: Optional[int] = None,
+) -> LockedCircuit:
+    """Apply SARLock to one primary output of ``circuit``.
+
+    ``num_key_bits`` defaults to the number of functional primary inputs
+    (clamped to at most 12 to keep the comparator manageable); the compared
+    input bits are the first ``num_key_bits`` functional inputs.
+    """
+    rng = random.Random(seed)
+    functional = circuit.functional_inputs
+    if not functional:
+        raise LockingError("SARLock requires at least one functional primary input")
+    if not circuit.outputs:
+        raise LockingError("SARLock requires at least one primary output")
+
+    width = num_key_bits if num_key_bits is not None else min(len(functional), 12)
+    width = min(width, len(functional))
+    if width < 1:
+        raise LockingError("SARLock key width must be at least 1")
+    compared_inputs = functional[:width]
+    target_output = target_output or circuit.outputs[0]
+    if target_output not in circuit.outputs:
+        raise LockingError(f"{target_output!r} is not a primary output")
+
+    original = circuit.copy()
+    locked = circuit.copy(name=f"{circuit.name}_sarlock")
+    if key_value is None:
+        key_value = rng.randrange(1 << width)
+
+    key_inputs = []
+    for index in range(width):
+        net = f"{KEY_INPUT_PREFIX}{index}"
+        locked.add_input(net, is_key=True)
+        key_inputs.append(net)
+
+    # flip = (X == K) AND NOT (X == K*), where K* is the correct key.
+    eq_key = _comparator(locked, compared_inputs, key_inputs, "sar")
+    eq_secret = _pattern_comparator(locked, compared_inputs, key_value, "sar_secret")
+    not_secret = locked.fresh_net("sar_nsec")
+    locked.add_gate(not_secret, GateType.NOT, [eq_secret])
+    flip = locked.fresh_net("sar_flip")
+    locked.add_gate(flip, GateType.AND, [eq_key, not_secret])
+
+    # Re-drive the protected output through an XOR with the flip signal.  The
+    # output must be gate-driven (true for every circuit produced by this
+    # repository's synthesis and benchmark generators); pick another output
+    # if the requested one is driven by a flip-flop or tied to an input.
+    if target_output not in locked.gates:
+        gate_driven = [o for o in locked.outputs if o in locked.gates]
+        if not gate_driven:
+            raise LockingError("SARLock needs at least one gate-driven primary output")
+        target_output = gate_driven[0]
+    gate = locked.remove_gate(target_output)
+    pre_net = f"{target_output}__pre"
+    locked.gates[pre_net] = gate.remapped({target_output: pre_net})
+    locked.add_gate(target_output, GateType.XOR, [pre_net, flip])
+
+    schedule = KeySchedule(width=width, values=(key_value,))
+    return LockedCircuit(
+        circuit=locked,
+        original=original,
+        schedule=schedule,
+        key_inputs=key_inputs,
+        scheme="sarlock",
+        metadata={"target_output": target_output, "compared_inputs": compared_inputs},
+    )

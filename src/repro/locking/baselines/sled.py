@@ -1,0 +1,135 @@
+"""SLED-style dynamic-key locking (Kasarabada et al., MWSCAS 2020).
+
+SLED changes the expected key during operation: an internal key-generation
+module (seeded by a static secret) produces a new expected key word every
+cycle, and the externally applied key must track it.  The scheme is dynamic
+but — as the paper points out — it is only as strong as the *static seed*:
+an attacker who recovers the seed (or, in this netlist realisation, observes
+that the expected sequence is a fixed function of time) can unlock the chip.
+
+The realisation here uses a small LFSR as the key-generation module.  The
+applied key pins are compared against the LFSR state each cycle; a mismatch
+corrupts the next-state update of a selected flip-flop (similar plumbing to
+Cute-Lock-Str, but with the expected sequence generated on-chip from the
+seed instead of being a free per-cycle secret).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.locking.base import KeySchedule, LockedCircuit, LockingError
+from repro.netlist.circuit import Circuit
+from repro.netlist.gates import GateType
+
+KEY_INPUT_PREFIX = "keyinput"
+
+#: Taps (XOR positions) used for small maximal-ish LFSRs, per register width.
+_LFSR_TAPS = {2: (0, 1), 3: (0, 2), 4: (0, 3), 5: (1, 4), 6: (0, 5), 7: (0, 6), 8: (1, 7)}
+
+
+def _lfsr_step(width: int, state: int) -> int:
+    """One LFSR transition (matches the gate-level LFSR built by lock_sled)."""
+    taps = _LFSR_TAPS.get(width, (0, width - 1))
+    feedback = 0
+    for tap in taps:
+        feedback ^= (state >> tap) & 1
+    return ((state << 1) | feedback) & ((1 << width) - 1)
+
+
+def _lfsr_period_sequence(width: int, seed: int, *, max_length: int = 256) -> List[int]:
+    """The LFSR state sequence over one full period starting from ``seed``.
+
+    The returned list is exactly one period long so that indexing it modulo
+    its length reproduces the on-chip key-generation module indefinitely.
+    """
+    state = seed if seed != 0 else 1
+    start = state
+    sequence = [state]
+    state = _lfsr_step(width, state)
+    while state != start and len(sequence) < max_length:
+        sequence.append(state)
+        state = _lfsr_step(width, state)
+    return sequence
+
+
+def lock_sled(
+    circuit: Circuit,
+    *,
+    key_width: int = 4,
+    seed: int = 0,
+    lfsr_seed: Optional[int] = None,
+) -> LockedCircuit:
+    """Apply SLED-style dynamic-key locking to one flip-flop of ``circuit``.
+
+    The returned :class:`KeySchedule` holds exactly one period of the on-chip
+    key-generation module's sequence, so indexing it modulo its length gives
+    the expected key for any cycle.
+    """
+    if not circuit.dffs:
+        raise LockingError("SLED locking requires a sequential circuit")
+    if key_width < 2:
+        raise LockingError("SLED key width must be at least 2 (LFSR register)")
+    rng = random.Random(seed)
+    original = circuit.copy()
+    locked = circuit.copy(name=f"{circuit.name}_sled")
+    lfsr_seed = lfsr_seed if lfsr_seed is not None else rng.randrange(1, 1 << key_width)
+
+    key_inputs: List[str] = []
+    for index in range(key_width):
+        net = f"{KEY_INPUT_PREFIX}{index}"
+        locked.add_input(net, is_key=True)
+        key_inputs.append(net)
+
+    # On-chip key-generation module: an LFSR seeded with the static secret.
+    lfsr_nets = [f"sled_lfsr{i}" for i in range(key_width)]
+    taps = _LFSR_TAPS.get(key_width, (0, key_width - 1))
+    feedback_terms = [lfsr_nets[t] for t in taps]
+    feedback = locked.fresh_net("sled_fb")
+    if len(feedback_terms) == 1:
+        locked.add_gate(feedback, GateType.BUF, feedback_terms)
+    else:
+        locked.add_gate(feedback, GateType.XOR, feedback_terms)
+    for bit, q_net in enumerate(lfsr_nets):
+        if bit == 0:
+            d_net = feedback
+        else:
+            d_net = lfsr_nets[bit - 1]
+        locked.add_dff(q_net, d_net, init=(lfsr_seed >> bit) & 1)
+
+    # Per-cycle comparator between the applied key and the LFSR state
+    # (key pin 0 is the MSB, matching the KeySchedule packing).
+    eq_terms = []
+    for index, key_net in enumerate(key_inputs):
+        lfsr_bit = lfsr_nets[key_width - 1 - index]
+        eq = locked.fresh_net("sled_eq")
+        locked.add_gate(eq, GateType.XNOR, [key_net, lfsr_bit])
+        eq_terms.append(eq)
+    key_ok = locked.fresh_net("sled_ok")
+    if len(eq_terms) == 1:
+        locked.add_gate(key_ok, GateType.BUF, [eq_terms[0]])
+    else:
+        locked.add_gate(key_ok, GateType.AND, eq_terms)
+
+    # Corrupt a selected flip-flop's next state whenever the key mismatches.
+    target_q = rng.choice(list(original.dffs.keys()))
+    target_ff = locked.dffs[target_q]
+    corrupted = locked.fresh_net("sled_bad")
+    locked.add_gate(corrupted, GateType.NOT, [target_ff.d])
+    guarded = locked.fresh_net("sled_mux")
+    locked.add_gate(guarded, GateType.MUX, [key_ok, corrupted, target_ff.d])
+    locked.replace_dff_input(target_q, guarded)
+
+    expected = _lfsr_period_sequence(key_width, lfsr_seed)
+    schedule = KeySchedule(width=key_width, values=tuple(expected))
+    return LockedCircuit(
+        circuit=locked,
+        original=original,
+        schedule=schedule,
+        key_inputs=key_inputs,
+        scheme="sled",
+        counter_nets=list(lfsr_nets),
+        locked_ffs=[target_q],
+        metadata={"lfsr_seed": lfsr_seed, "taps": taps},
+    )

@@ -1,0 +1,110 @@
+"""TTLock (Yasin et al., HOST 2017).
+
+TTLock "strips" one protected input pattern from the original function and
+restores it with a comparator against the key inputs::
+
+    locked(X, K) = original(X) ⊕ (X == P) ⊕ (X == K)
+
+With the correct key ``K == P`` the two flips cancel for every input.  The
+scheme resists the plain SAT attack (each DIP removes one wrong key) but its
+comparator-plus-restore structure is precisely what the FALL attack detects
+and inverts — TTLock is the positive control for our FALL implementation.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.locking.base import KeySchedule, LockedCircuit, LockingError
+from repro.netlist.circuit import Circuit
+from repro.netlist.gates import GateType
+
+KEY_INPUT_PREFIX = "keyinput"
+
+
+def lock_ttlock(
+    circuit: Circuit,
+    *,
+    num_key_bits: Optional[int] = None,
+    target_output: Optional[str] = None,
+    seed: int = 0,
+    protected_pattern: Optional[int] = None,
+) -> LockedCircuit:
+    """Apply TTLock to one gate-driven primary output of ``circuit``."""
+    rng = random.Random(seed)
+    functional = circuit.functional_inputs
+    if not functional:
+        raise LockingError("TTLock requires at least one functional primary input")
+    width = num_key_bits if num_key_bits is not None else min(len(functional), 12)
+    width = min(width, len(functional))
+    if width < 1:
+        raise LockingError("TTLock key width must be at least 1")
+    compared_inputs = functional[:width]
+
+    original = circuit.copy()
+    locked = circuit.copy(name=f"{circuit.name}_ttlock")
+    if protected_pattern is None:
+        protected_pattern = rng.randrange(1 << width)
+
+    key_inputs: List[str] = []
+    for index in range(width):
+        net = f"{KEY_INPUT_PREFIX}{index}"
+        locked.add_input(net, is_key=True)
+        key_inputs.append(net)
+
+    # Functionality-stripping comparator: X == P (hard-wired pattern).
+    strip_terms = []
+    for index, net in enumerate(compared_inputs):
+        bit = (protected_pattern >> (width - 1 - index)) & 1
+        if bit:
+            strip_terms.append(net)
+        else:
+            inv = locked.fresh_net("tt_pinv")
+            locked.add_gate(inv, GateType.NOT, [net])
+            strip_terms.append(inv)
+    strip_net = locked.fresh_net("tt_strip")
+    if len(strip_terms) == 1:
+        locked.add_gate(strip_net, GateType.BUF, [strip_terms[0]])
+    else:
+        locked.add_gate(strip_net, GateType.AND, strip_terms)
+
+    # Restore comparator: X == K (the structure FALL looks for).
+    restore_terms = []
+    for net, key_net in zip(compared_inputs, key_inputs):
+        eq = locked.fresh_net("tt_eq")
+        locked.add_gate(eq, GateType.XNOR, [net, key_net])
+        restore_terms.append(eq)
+    restore_net = locked.fresh_net("tt_restore")
+    if len(restore_terms) == 1:
+        locked.add_gate(restore_net, GateType.BUF, [restore_terms[0]])
+    else:
+        locked.add_gate(restore_net, GateType.AND, restore_terms)
+
+    flip = locked.fresh_net("tt_flip")
+    locked.add_gate(flip, GateType.XOR, [strip_net, restore_net])
+
+    target_output = target_output or circuit.outputs[0]
+    if target_output not in locked.gates:
+        gate_driven = [o for o in locked.outputs if o in locked.gates]
+        if not gate_driven:
+            raise LockingError("TTLock needs at least one gate-driven primary output")
+        target_output = gate_driven[0]
+    gate = locked.remove_gate(target_output)
+    pre_net = f"{target_output}__pre"
+    locked.gates[pre_net] = gate.remapped({target_output: pre_net})
+    locked.add_gate(target_output, GateType.XOR, [pre_net, flip])
+
+    schedule = KeySchedule(width=width, values=(protected_pattern,))
+    return LockedCircuit(
+        circuit=locked,
+        original=original,
+        schedule=schedule,
+        key_inputs=key_inputs,
+        scheme="ttlock",
+        metadata={
+            "target_output": target_output,
+            "compared_inputs": compared_inputs,
+            "restore_net": restore_net,
+        },
+    )

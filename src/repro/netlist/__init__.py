@@ -1,0 +1,51 @@
+"""Gate-level netlist intermediate representation and file formats.
+
+This package provides the circuit data model shared by every other subsystem
+of the Cute-Lock reproduction: the locking transforms mutate :class:`Circuit`
+objects, the simulator evaluates them, the SAT layer encodes them, and the
+benchmark generators emit them.
+
+Public API
+----------
+Circuit, Gate, GateType, DFF
+    The in-memory netlist model (:mod:`repro.netlist.circuit`).
+parse_bench, write_bench, load_bench, save_bench
+    ISCAS-style ``.bench`` reader/writer (:mod:`repro.netlist.bench`).
+parse_blif, write_blif
+    Minimal BLIF reader/writer (:mod:`repro.netlist.blif`).
+write_verilog
+    Structural Verilog writer (:mod:`repro.netlist.verilog`).
+circuit_stats, CircuitStats
+    Size/depth statistics (:mod:`repro.netlist.stats`).
+validate_circuit
+    Structural well-formedness checks (:mod:`repro.netlist.validate`).
+"""
+
+from repro.netlist.gates import GateType, Gate, DFF, GATE_EVAL, gate_eval
+from repro.netlist.circuit import Circuit, CircuitError
+from repro.netlist.bench import parse_bench, write_bench, load_bench, save_bench
+from repro.netlist.blif import parse_blif, write_blif
+from repro.netlist.verilog import write_verilog
+from repro.netlist.stats import CircuitStats, circuit_stats
+from repro.netlist.validate import validate_circuit, ValidationIssue
+
+__all__ = [
+    "GateType",
+    "Gate",
+    "DFF",
+    "GATE_EVAL",
+    "gate_eval",
+    "Circuit",
+    "CircuitError",
+    "parse_bench",
+    "write_bench",
+    "load_bench",
+    "save_bench",
+    "parse_blif",
+    "write_blif",
+    "write_verilog",
+    "CircuitStats",
+    "circuit_stats",
+    "validate_circuit",
+    "ValidationIssue",
+]

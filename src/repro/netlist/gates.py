@@ -1,0 +1,169 @@
+"""Gate primitives used by the netlist model.
+
+The gate vocabulary intentionally mirrors the ISCAS ``.bench`` format used by
+the logic-locking literature (and by the attacks reproduced here): simple
+n-input Boolean gates plus a 2:1 MUX convenience primitive and constants.
+Sequential state is held in :class:`DFF` elements, which are kept separate
+from combinational gates so the simulator, the Tseitin encoder and the
+unrolling attacks can treat the next-state boundary explicitly.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Sequence, Tuple
+
+
+class GateType(str, enum.Enum):
+    """Supported combinational gate types.
+
+    The string values match the operator names used in ``.bench`` files so a
+    gate can be written out without translation.
+    """
+
+    BUF = "BUF"
+    NOT = "NOT"
+    AND = "AND"
+    NAND = "NAND"
+    OR = "OR"
+    NOR = "NOR"
+    XOR = "XOR"
+    XNOR = "XNOR"
+    MUX = "MUX"  # MUX(sel, d0, d1) -> d1 if sel else d0
+    CONST0 = "CONST0"
+    CONST1 = "CONST1"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Minimum / maximum fan-in allowed for each gate type (None = unbounded).
+GATE_ARITY: Dict[GateType, Tuple[int, int | None]] = {
+    GateType.BUF: (1, 1),
+    GateType.NOT: (1, 1),
+    GateType.AND: (2, None),
+    GateType.NAND: (2, None),
+    GateType.OR: (2, None),
+    GateType.NOR: (2, None),
+    GateType.XOR: (2, None),
+    GateType.XNOR: (2, None),
+    GateType.MUX: (3, 3),
+    GateType.CONST0: (0, 0),
+    GateType.CONST1: (0, 0),
+}
+
+
+def _eval_and(values: Sequence[int]) -> int:
+    return int(all(values))
+
+
+def _eval_or(values: Sequence[int]) -> int:
+    return int(any(values))
+
+
+def _eval_xor(values: Sequence[int]) -> int:
+    acc = 0
+    for v in values:
+        acc ^= v
+    return acc
+
+
+def _eval_mux(values: Sequence[int]) -> int:
+    sel, d0, d1 = values
+    return d1 if sel else d0
+
+
+#: Evaluation function per gate type operating on 0/1 integers.
+GATE_EVAL: Dict[GateType, Callable[[Sequence[int]], int]] = {
+    GateType.BUF: lambda v: v[0],
+    GateType.NOT: lambda v: 1 - v[0],
+    GateType.AND: _eval_and,
+    GateType.NAND: lambda v: 1 - _eval_and(v),
+    GateType.OR: _eval_or,
+    GateType.NOR: lambda v: 1 - _eval_or(v),
+    GateType.XOR: _eval_xor,
+    GateType.XNOR: lambda v: 1 - _eval_xor(v),
+    GateType.MUX: _eval_mux,
+    GateType.CONST0: lambda v: 0,
+    GateType.CONST1: lambda v: 1,
+}
+
+
+def gate_eval(gtype: GateType, values: Sequence[int]) -> int:
+    """Evaluate a single gate of type ``gtype`` on 0/1 input ``values``."""
+    return GATE_EVAL[gtype](values)
+
+
+@dataclass(frozen=True)
+class Gate:
+    """A single combinational gate.
+
+    Attributes
+    ----------
+    output:
+        Name of the net driven by this gate.  Net names are plain strings and
+        are unique within a :class:`~repro.netlist.circuit.Circuit`.
+    gtype:
+        The gate's :class:`GateType`.
+    inputs:
+        Ordered tuple of fan-in net names.  Order matters for ``MUX``
+        (``(sel, d0, d1)``) and is preserved for all types.
+    """
+
+    output: str
+    gtype: GateType
+    inputs: Tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        lo, hi = GATE_ARITY[self.gtype]
+        n = len(self.inputs)
+        if n < lo or (hi is not None and n > hi):
+            raise ValueError(
+                f"gate {self.output!r}: {self.gtype} expects "
+                f"{lo}{'+' if hi is None else f'..{hi}'} inputs, got {n}"
+            )
+
+    def evaluate(self, values: Sequence[int]) -> int:
+        """Evaluate this gate on already-resolved fan-in ``values``."""
+        return gate_eval(self.gtype, values)
+
+    def remapped(self, mapping: Dict[str, str]) -> "Gate":
+        """Return a copy with every net name passed through ``mapping``."""
+        return Gate(
+            output=mapping.get(self.output, self.output),
+            gtype=self.gtype,
+            inputs=tuple(mapping.get(i, i) for i in self.inputs),
+        )
+
+
+@dataclass(frozen=True)
+class DFF:
+    """A D flip-flop.
+
+    Attributes
+    ----------
+    q:
+        Net name of the flip-flop output (the present-state bit).
+    d:
+        Net name of the flip-flop input (the next-state function).
+    init:
+        Reset / power-up value, 0 or 1.  ISCAS benchmarks conventionally
+        start at 0; Cute-Lock's counter registers also reset to 0.
+    """
+
+    q: str
+    d: str
+    init: int = 0
+
+    def __post_init__(self) -> None:
+        if self.init not in (0, 1):
+            raise ValueError(f"DFF {self.q!r}: init must be 0 or 1, got {self.init}")
+
+    def remapped(self, mapping: Dict[str, str]) -> "DFF":
+        """Return a copy with ``q`` and ``d`` passed through ``mapping``."""
+        return DFF(
+            q=mapping.get(self.q, self.q),
+            d=mapping.get(self.d, self.d),
+            init=self.init,
+        )

@@ -1,0 +1,214 @@
+"""Netlist clean-up transforms.
+
+Locking transforms splice new logic into an existing netlist and can leave
+behind constants, pass-through buffers and logic whose fanout became
+unreachable.  These passes tidy such netlists up — they are used by the
+overhead experiments to make the cost comparison fair (the same clean-up is
+applied to original and locked circuits) and are generally useful when
+exporting locked benchmarks for external tools.
+
+All passes are purely structural and behaviour-preserving; the test-suite
+checks each one against random simulation of the original circuit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.netlist.circuit import Circuit
+from repro.netlist.gates import Gate, GateType
+
+
+def sweep_dangling_logic(circuit: Circuit) -> Tuple[Circuit, int]:
+    """Remove gates that drive nothing observable.
+
+    A gate is kept if its output is a primary output, feeds a flip-flop D
+    pin, or (transitively) feeds such a net.  Returns the cleaned circuit and
+    the number of gates removed.
+    """
+    clean = circuit.copy(name=circuit.name)
+    live: Set[str] = set(clean.outputs)
+    for ff in clean.dffs.values():
+        live.add(ff.d)
+
+    # Walk backwards from the live roots through the combinational logic.
+    stack = list(live)
+    reachable: Set[str] = set()
+    while stack:
+        net = stack.pop()
+        if net in reachable:
+            continue
+        reachable.add(net)
+        gate = clean.gates.get(net)
+        if gate is not None:
+            stack.extend(gate.inputs)
+
+    removed = 0
+    for out in list(clean.gates):
+        if out not in reachable:
+            clean.remove_gate(out)
+            removed += 1
+    return clean, removed
+
+
+def collapse_buffers(circuit: Circuit) -> Tuple[Circuit, int]:
+    """Remove BUF gates by re-pointing their fanout at the buffered net.
+
+    Buffers driving primary outputs are kept (the output name must stay).
+    Returns the cleaned circuit and the number of buffers collapsed.
+    """
+    clean = circuit.copy(name=circuit.name)
+    outputs = set(clean.outputs)
+
+    # Resolve chains of buffers to their ultimate source first.
+    def source_of(net: str, seen: Optional[Set[str]] = None) -> str:
+        seen = seen or set()
+        gate = clean.gates.get(net)
+        if gate is None or gate.gtype != GateType.BUF or net in outputs or net in seen:
+            return net
+        seen.add(net)
+        return source_of(gate.inputs[0], seen)
+
+    replacement: Dict[str, str] = {}
+    for out, gate in clean.gates.items():
+        if gate.gtype == GateType.BUF and out not in outputs:
+            replacement[out] = source_of(out)
+
+    if not replacement:
+        return clean, 0
+
+    remapped: Dict[str, Gate] = {}
+    for out, gate in clean.gates.items():
+        if out in replacement:
+            continue
+        new_inputs = tuple(replacement.get(i, i) for i in gate.inputs)
+        remapped[out] = Gate(output=out, gtype=gate.gtype, inputs=new_inputs)
+    clean.gates = remapped
+    for q, ff in list(clean.dffs.items()):
+        if ff.d in replacement:
+            clean.replace_dff_input(q, replacement[ff.d])
+    return clean, len(replacement)
+
+
+_CONST_TYPES = {GateType.CONST0: 0, GateType.CONST1: 1}
+
+
+def propagate_constants(circuit: Circuit, *, max_passes: int = 10) -> Tuple[Circuit, int]:
+    """Fold gates whose value is fixed by constant fan-ins.
+
+    Constants are propagated iteratively (a folded gate may make its fanout
+    foldable too).  Gates feeding primary outputs or flip-flops are replaced
+    by CONST cells rather than removed, so the interface is unchanged.
+    Returns the cleaned circuit and the number of gates folded.
+    """
+    clean = circuit.copy(name=circuit.name)
+    folded_total = 0
+
+    for _ in range(max_passes):
+        constants: Dict[str, int] = {
+            out: _CONST_TYPES[gate.gtype]
+            for out, gate in clean.gates.items()
+            if gate.gtype in _CONST_TYPES
+        }
+        folded_this_pass = 0
+        for out, gate in list(clean.gates.items()):
+            if gate.gtype in _CONST_TYPES:
+                continue
+            values = [constants.get(i) for i in gate.inputs]
+            new_gate = _fold_gate(clean, gate, values)
+            if new_gate is not None:
+                clean.gates[out] = new_gate
+                folded_this_pass += 1
+        folded_total += folded_this_pass
+        if folded_this_pass == 0:
+            break
+    return clean, folded_total
+
+
+def _fold_gate(circuit: Circuit, gate: Gate, values: List[Optional[int]]) -> Optional[Gate]:
+    """Return a simplified replacement for ``gate`` given constant fan-ins."""
+    gtype = gate.gtype
+    known = [v for v in values if v is not None]
+    if not known:
+        return None
+
+    def const(value: int) -> Gate:
+        return Gate(output=gate.output,
+                    gtype=GateType.CONST1 if value else GateType.CONST0, inputs=())
+
+    def buf(net: str) -> Gate:
+        return Gate(output=gate.output, gtype=GateType.BUF, inputs=(net,))
+
+    def inv(net: str) -> Gate:
+        return Gate(output=gate.output, gtype=GateType.NOT, inputs=(net,))
+
+    if gtype in (GateType.BUF, GateType.NOT):
+        value = values[0]
+        if value is None:
+            return None
+        return const(value if gtype == GateType.BUF else 1 - value)
+
+    if gtype in (GateType.AND, GateType.NAND):
+        negate = gtype == GateType.NAND
+        if 0 in known:
+            return const(1 if negate else 0)
+        remaining = [net for net, v in zip(gate.inputs, values) if v is None]
+        if not remaining:
+            return const(0 if negate else 1)
+        if len(remaining) == 1:
+            return inv(remaining[0]) if negate else buf(remaining[0])
+        if len(remaining) < len(gate.inputs):
+            return Gate(output=gate.output, gtype=gtype, inputs=tuple(remaining))
+        return None
+
+    if gtype in (GateType.OR, GateType.NOR):
+        negate = gtype == GateType.NOR
+        if 1 in known:
+            return const(0 if negate else 1)
+        remaining = [net for net, v in zip(gate.inputs, values) if v is None]
+        if not remaining:
+            return const(1 if negate else 0)
+        if len(remaining) == 1:
+            return inv(remaining[0]) if negate else buf(remaining[0])
+        if len(remaining) < len(gate.inputs):
+            return Gate(output=gate.output, gtype=gtype, inputs=tuple(remaining))
+        return None
+
+    if gtype in (GateType.XOR, GateType.XNOR):
+        parity = sum(known) % 2
+        remaining = [net for net, v in zip(gate.inputs, values) if v is None]
+        invert = (gtype == GateType.XNOR) ^ bool(parity)
+        if not remaining:
+            return const(1 if invert else 0)
+        if len(remaining) == 1:
+            return inv(remaining[0]) if invert else buf(remaining[0])
+        if len(remaining) < len(gate.inputs):
+            new_type = GateType.XNOR if invert else GateType.XOR
+            return Gate(output=gate.output, gtype=new_type, inputs=tuple(remaining))
+        return None
+
+    if gtype == GateType.MUX:
+        sel, d0, d1 = values
+        sel_net, d0_net, d1_net = gate.inputs
+        if sel is not None:
+            chosen_net, chosen_val = (d1_net, d1) if sel else (d0_net, d0)
+            if chosen_val is not None:
+                return const(chosen_val)
+            return buf(chosen_net)
+        if d0 is not None and d1 is not None and d0 == d1:
+            return const(d0)
+        return None
+
+    return None
+
+
+def cleanup(circuit: Circuit) -> Tuple[Circuit, Dict[str, int]]:
+    """Run constant propagation, buffer collapsing and dangling-logic sweep.
+
+    Returns the cleaned circuit plus a per-pass statistics dictionary.
+    """
+    stats: Dict[str, int] = {}
+    current, stats["constants_folded"] = propagate_constants(circuit)
+    current, stats["buffers_collapsed"] = collapse_buffers(current)
+    current, stats["dangling_removed"] = sweep_dangling_logic(current)
+    return current, stats

@@ -1,0 +1,104 @@
+"""Structural validation of circuits.
+
+The locking transforms rewire flip-flop inputs and splice MUX trees into an
+existing netlist, which makes it easy to leave a dangling or multiply-driven
+net behind.  :func:`validate_circuit` catches those mistakes early; the test
+suite runs it on every circuit a transform produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.netlist.circuit import Circuit, CircuitError
+
+
+@dataclass(frozen=True)
+class ValidationIssue:
+    """A single structural problem found in a circuit."""
+
+    severity: str  # "error" or "warning"
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.severity}] {self.message}"
+
+
+def validate_circuit(circuit: Circuit, *, strict: bool = False) -> List[ValidationIssue]:
+    """Check ``circuit`` for structural problems.
+
+    Returns the list of issues found.  With ``strict=True`` a non-empty list
+    of errors raises :class:`CircuitError` instead of being returned.
+
+    Checks performed:
+
+    * every gate / DFF input net has a driver;
+    * every primary output has a driver;
+    * no net has more than one driver (inputs vs gates vs DFFs);
+    * key inputs are primary inputs;
+    * the combinational portion is acyclic;
+    * (warning) nets that drive nothing and are not primary outputs.
+    """
+    issues: List[ValidationIssue] = []
+
+    driven = set(circuit.inputs) | set(circuit.gates) | set(circuit.dffs)
+
+    # multiple drivers
+    seen = set()
+    for group in (circuit.inputs, circuit.gates.keys(), circuit.dffs.keys()):
+        for net in group:
+            if net in seen:
+                issues.append(ValidationIssue("error", f"net {net!r} has multiple drivers"))
+            seen.add(net)
+
+    # undriven fanins
+    for gate in circuit.gates.values():
+        for src in gate.inputs:
+            if src not in driven:
+                issues.append(
+                    ValidationIssue("error", f"gate {gate.output!r} input {src!r} is undriven")
+                )
+    for ff in circuit.dffs.values():
+        if ff.d not in driven:
+            issues.append(ValidationIssue("error", f"DFF {ff.q!r} input {ff.d!r} is undriven"))
+
+    # undriven outputs
+    for net in circuit.outputs:
+        if net not in driven:
+            issues.append(ValidationIssue("error", f"primary output {net!r} is undriven"))
+
+    # key inputs must be primary inputs
+    for key in circuit.key_inputs:
+        if key not in circuit.inputs:
+            issues.append(ValidationIssue("error", f"key input {key!r} is not a primary input"))
+
+    # combinational cycles
+    try:
+        circuit.topological_order()
+    except CircuitError as exc:
+        issues.append(ValidationIssue("error", str(exc)))
+
+    # dangling nets (warnings only)
+    consumed = set()
+    for gate in circuit.gates.values():
+        consumed.update(gate.inputs)
+    for ff in circuit.dffs.values():
+        consumed.add(ff.d)
+    consumed.update(circuit.outputs)
+    for net in driven:
+        if net not in consumed and net not in circuit.outputs:
+            issues.append(ValidationIssue("warning", f"net {net!r} drives nothing"))
+
+    if strict:
+        errors = [i for i in issues if i.severity == "error"]
+        if errors:
+            raise CircuitError(
+                "circuit validation failed:\n" + "\n".join(str(e) for e in errors)
+            )
+    return issues
+
+
+def has_errors(issues: List[ValidationIssue]) -> bool:
+    """True if any issue in ``issues`` is an error (not just a warning)."""
+    return any(i.severity == "error" for i in issues)

@@ -1,0 +1,23 @@
+"""A self-contained SAT layer: CNF containers, a CDCL solver and circuit-to-CNF
+(Tseitin) encoding plus miter construction.
+
+All oracle-guided attacks in :mod:`repro.attacks` (SAT attack, AppSAT,
+DoubleDIP, BMC/"BBO", KC2, RANE) are built on this layer, which stands in for
+the MiniSAT/Glucose back-ends embedded in the NEOS and RANE tools used by the
+paper.
+"""
+
+from repro.sat.cnf import CNF, Clause
+from repro.sat.solver import Solver, SolverStats
+from repro.sat.tseitin import TseitinEncoder
+from repro.sat.miter import build_miter, build_key_miter
+
+__all__ = [
+    "CNF",
+    "Clause",
+    "Solver",
+    "SolverStats",
+    "TseitinEncoder",
+    "build_miter",
+    "build_key_miter",
+]

@@ -1,0 +1,78 @@
+"""CNF containers.
+
+Literals follow the DIMACS convention: variables are positive integers and a
+negative literal is the negated variable.  :class:`CNF` is a thin container
+used to pass formulas between the Tseitin encoder, the attacks and the
+solver; the solver itself keeps its own internal clause database.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence, Tuple
+
+Clause = Tuple[int, ...]
+
+
+@dataclass
+class CNF:
+    """A CNF formula: a clause list plus the number of variables used."""
+
+    num_vars: int = 0
+    clauses: List[Clause] = field(default_factory=list)
+
+    def new_var(self) -> int:
+        """Allocate and return a fresh variable."""
+        self.num_vars += 1
+        return self.num_vars
+
+    def add_clause(self, literals: Iterable[int]) -> None:
+        """Add one clause, updating ``num_vars`` to cover its literals."""
+        clause = tuple(int(l) for l in literals)
+        if not clause:
+            raise ValueError("empty clause added to CNF (formula is trivially UNSAT)")
+        if any(l == 0 for l in clause):
+            raise ValueError("literal 0 is not allowed")
+        self.clauses.append(clause)
+        top = max(abs(l) for l in clause)
+        if top > self.num_vars:
+            self.num_vars = top
+
+    def extend(self, clauses: Iterable[Iterable[int]]) -> None:
+        """Add many clauses."""
+        for clause in clauses:
+            self.add_clause(clause)
+
+    def copy(self) -> "CNF":
+        """Shallow copy (clauses are immutable tuples)."""
+        return CNF(num_vars=self.num_vars, clauses=list(self.clauses))
+
+    def to_dimacs(self) -> str:
+        """Serialise in DIMACS format (useful for debugging/export)."""
+        lines = [f"p cnf {self.num_vars} {len(self.clauses)}"]
+        for clause in self.clauses:
+            lines.append(" ".join(str(l) for l in clause) + " 0")
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_dimacs(cls, text: str) -> "CNF":
+        """Parse a DIMACS CNF file."""
+        cnf = cls()
+        for raw in text.splitlines():
+            line = raw.strip()
+            if not line or line.startswith(("c", "%")):
+                continue
+            if line.startswith("p"):
+                parts = line.split()
+                if len(parts) >= 3:
+                    cnf.num_vars = max(cnf.num_vars, int(parts[2]))
+                continue
+            literals = [int(tok) for tok in line.split()]
+            if literals and literals[-1] == 0:
+                literals = literals[:-1]
+            if literals:
+                cnf.add_clause(literals)
+        return cnf
+
+    def __len__(self) -> int:
+        return len(self.clauses)

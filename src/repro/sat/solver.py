@@ -1,0 +1,476 @@
+"""A CDCL SAT solver.
+
+This is a from-scratch conflict-driven clause-learning solver in the MiniSAT
+tradition: two-watched-literal propagation, first-UIP conflict analysis,
+VSIDS-style variable activities, phase saving, Luby restarts and
+assumption-based incremental solving.  It is deliberately pure Python — the
+reproduction is not allowed external solver binaries — so the attacks built
+on top keep their benchmark circuits modest in size.
+
+The public surface is small:
+
+``add_clause`` / ``add_clauses``
+    Grow the clause database (incremental: clauses persist across calls).
+``solve(assumptions=…, conflict_limit=…, time_limit=…)``
+    Returns ``True`` (SAT), ``False`` (UNSAT under the assumptions) or
+    ``None`` when a resource limit was hit.
+``model()``
+    The satisfying assignment of the most recent SAT answer.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+
+@dataclass
+class SolverStats:
+    """Counters accumulated over the lifetime of a solver instance."""
+
+    decisions: int = 0
+    propagations: int = 0
+    conflicts: int = 0
+    learned_clauses: int = 0
+    restarts: int = 0
+    solve_calls: int = 0
+
+
+def _luby(i: int) -> int:
+    """The i-th element (1-based) of the Luby restart sequence.
+
+    Uses the classic MiniSAT formulation: find the finite subsequence that
+    contains index ``i`` and the position within it.
+    """
+    x = i - 1  # 0-based index
+    size, seq = 1, 0
+    while size < x + 1:
+        seq += 1
+        size = 2 * size + 1
+    while size - 1 != x:
+        size = (size - 1) // 2
+        seq -= 1
+        x = x % size
+    return 1 << seq
+
+
+class Solver:
+    """Incremental CDCL SAT solver over integer (DIMACS-style) literals."""
+
+    _UNASSIGNED = 0
+
+    def __init__(self) -> None:
+        self.num_vars = 0
+        self.clauses: List[List[int]] = []
+        self._learned_start = 0  # clauses before this index are problem clauses
+        self._watches: Dict[int, List[int]] = {}
+        self._assign: List[int] = [0]  # 1-indexed; 0 unassigned, +1 true, -1 false
+        self._level: List[int] = [0]
+        self._reason: List[Optional[int]] = [None]
+        self._activity: List[float] = [0.0]
+        self._phase: List[int] = [0]
+        self._trail: List[int] = []
+        self._trail_lim: List[int] = []
+        self._qhead = 0
+        self._order_heap: List = []
+        self._var_inc = 1.0
+        self._var_decay = 0.95
+        self._model: Dict[int, int] = {}
+        self._unsat = False  # a top-level empty clause / contradiction exists
+        self.stats = SolverStats()
+
+    # ------------------------------------------------------------------ #
+    # variable / clause management
+    # ------------------------------------------------------------------ #
+    def new_var(self) -> int:
+        """Allocate a fresh variable and return its index."""
+        self.num_vars += 1
+        self._assign.append(0)
+        self._level.append(0)
+        self._reason.append(None)
+        self._activity.append(0.0)
+        self._phase.append(0)
+        return self.num_vars
+
+    def _ensure_var(self, var: int) -> None:
+        while self.num_vars < var:
+            self.new_var()
+
+    def add_clause(self, literals: Iterable[int]) -> None:
+        """Add a clause.  Must be called at decision level 0 (between solves)."""
+        clause = []
+        seen = set()
+        for lit in literals:
+            lit = int(lit)
+            if lit == 0:
+                raise ValueError("literal 0 is not allowed")
+            if -lit in seen:
+                return  # tautology, skip
+            if lit in seen:
+                continue
+            seen.add(lit)
+            clause.append(lit)
+            self._ensure_var(abs(lit))
+        if not clause:
+            self._unsat = True
+            return
+        # Drop literals already false at level 0, stop if already satisfied.
+        simplified = []
+        for lit in clause:
+            value = self._value(lit)
+            if value == 1 and self._level[abs(lit)] == 0:
+                return
+            if value == -1 and self._level[abs(lit)] == 0:
+                continue
+            simplified.append(lit)
+        if not simplified:
+            self._unsat = True
+            return
+        if len(simplified) == 1:
+            if not self._enqueue(simplified[0], None):
+                self._unsat = True
+            elif self._propagate() is not None:
+                self._unsat = True
+            return
+        index = len(self.clauses)
+        self.clauses.append(simplified)
+        self._watch(simplified[0], index)
+        self._watch(simplified[1], index)
+
+    def add_clauses(self, clauses: Iterable[Iterable[int]]) -> None:
+        """Add many clauses."""
+        for clause in clauses:
+            self.add_clause(clause)
+
+    def _watch(self, lit: int, clause_index: int) -> None:
+        self._watches.setdefault(-lit, []).append(clause_index)
+
+    # ------------------------------------------------------------------ #
+    # assignment helpers
+    # ------------------------------------------------------------------ #
+    def _value(self, lit: int) -> int:
+        """+1 if lit is true, -1 if false, 0 if unassigned."""
+        value = self._assign[abs(lit)]
+        if value == 0:
+            return 0
+        return value if lit > 0 else -value
+
+    def _enqueue(self, lit: int, reason: Optional[int]) -> bool:
+        value = self._value(lit)
+        if value == 1:
+            return True
+        if value == -1:
+            return False
+        var = abs(lit)
+        self._assign[var] = 1 if lit > 0 else -1
+        self._level[var] = self._decision_level()
+        self._reason[var] = reason
+        self._trail.append(lit)
+        return True
+
+    def _decision_level(self) -> int:
+        return len(self._trail_lim)
+
+    def _new_decision_level(self) -> None:
+        self._trail_lim.append(len(self._trail))
+
+    def _backtrack(self, level: int) -> None:
+        if self._decision_level() <= level:
+            return
+        boundary = self._trail_lim[level]
+        for lit in reversed(self._trail[boundary:]):
+            var = abs(lit)
+            self._phase[var] = self._assign[var]
+            self._assign[var] = 0
+            self._reason[var] = None
+            self._heap_push(var)
+        del self._trail[boundary:]
+        del self._trail_lim[level:]
+        self._qhead = len(self._trail)
+
+    # ------------------------------------------------------------------ #
+    # propagation
+    # ------------------------------------------------------------------ #
+    def _propagate(self) -> Optional[int]:
+        """Unit propagation.  Returns a conflicting clause index or None."""
+        while self._qhead < len(self._trail):
+            lit = self._trail[self._qhead]
+            self._qhead += 1
+            self.stats.propagations += 1
+            watching = self._watches.get(lit)
+            if not watching:
+                continue
+            new_watching: List[int] = []
+            conflict: Optional[int] = None
+            i = 0
+            n = len(watching)
+            while i < n:
+                clause_index = watching[i]
+                i += 1
+                clause = self.clauses[clause_index]
+                # Normalise so the falsified watched literal is clause[1].
+                false_lit = -lit
+                if clause[0] == false_lit:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if self._value(first) == 1:
+                    new_watching.append(clause_index)
+                    continue
+                # Look for a replacement watch.
+                found = False
+                for k in range(2, len(clause)):
+                    if self._value(clause[k]) != -1:
+                        clause[1], clause[k] = clause[k], clause[1]
+                        self._watch(clause[1], clause_index)
+                        found = True
+                        break
+                if found:
+                    continue
+                # Clause is unit or conflicting.
+                new_watching.append(clause_index)
+                if not self._enqueue(first, clause_index):
+                    conflict = clause_index
+                    # keep remaining watches
+                    new_watching.extend(watching[i:])
+                    break
+            self._watches[lit] = new_watching
+            if conflict is not None:
+                return conflict
+        return None
+
+    # ------------------------------------------------------------------ #
+    # conflict analysis
+    # ------------------------------------------------------------------ #
+    def _bump(self, var: int) -> None:
+        self._activity[var] += self._var_inc
+        if self._assign[var] == 0:
+            self._heap_push(var)
+        if self._activity[var] > 1e100:
+            for v in range(1, self.num_vars + 1):
+                self._activity[v] *= 1e-100
+            self._var_inc *= 1e-100
+
+    def _decay_activities(self) -> None:
+        self._var_inc /= self._var_decay
+
+    def _analyze(self, conflict_index: int) -> (List[int], int):
+        """First-UIP conflict analysis.
+
+        Returns the learned clause (asserting literal first) and the level to
+        backtrack to.
+        """
+        learned: List[int] = [0]  # placeholder for the asserting literal
+        seen = [False] * (self.num_vars + 1)
+        counter = 0
+        lit = None
+        clause = self.clauses[conflict_index]
+        index = len(self._trail) - 1
+        current_level = self._decision_level()
+
+        while True:
+            for reason_lit in clause:
+                if lit is not None and reason_lit == lit:
+                    continue
+                var = abs(reason_lit)
+                if not seen[var] and self._level[var] > 0:
+                    seen[var] = True
+                    self._bump(var)
+                    if self._level[var] >= current_level:
+                        counter += 1
+                    else:
+                        learned.append(reason_lit)
+            # find next literal to expand (most recent on trail at current level)
+            while not seen[abs(self._trail[index])]:
+                index -= 1
+            lit = self._trail[index]
+            var = abs(lit)
+            seen[var] = False
+            counter -= 1
+            index -= 1
+            if counter == 0:
+                break
+            reason_index = self._reason[var]
+            assert reason_index is not None, "decision reached before UIP"
+            clause = self.clauses[reason_index]
+        learned[0] = -lit
+
+        if len(learned) == 1:
+            return learned, 0
+        # Backtrack level: highest level among the non-asserting literals.
+        max_index = 1
+        max_level = self._level[abs(learned[1])]
+        for k in range(2, len(learned)):
+            lvl = self._level[abs(learned[k])]
+            if lvl > max_level:
+                max_level = lvl
+                max_index = k
+        learned[1], learned[max_index] = learned[max_index], learned[1]
+        return learned, max_level
+
+    # ------------------------------------------------------------------ #
+    # decisions
+    # ------------------------------------------------------------------ #
+    def _heap_push(self, var: int) -> None:
+        heapq.heappush(self._order_heap, (-self._activity[var], var))
+
+    def _pick_branch_variable(self) -> Optional[int]:
+        """Highest-activity unassigned variable (lazy-deletion heap).
+
+        Heap entries can be stale (old activity, or the variable got assigned
+        since being pushed); stale entries are skipped or re-pushed with the
+        current activity.  Variables never pushed (activity 0) are covered by
+        the fallback linear scan, which also refills the heap.
+        """
+        while self._order_heap:
+            neg_activity, var = heapq.heappop(self._order_heap)
+            if self._assign[var] != 0:
+                continue
+            if -neg_activity != self._activity[var]:
+                self._heap_push(var)
+                continue
+            return var
+        # Heap exhausted: rebuild it from all unassigned variables.
+        unassigned = [v for v in range(1, self.num_vars + 1) if self._assign[v] == 0]
+        if not unassigned:
+            return None
+        for var in unassigned:
+            self._heap_push(var)
+        return max(unassigned, key=lambda v: self._activity[v])
+
+    # ------------------------------------------------------------------ #
+    # main search
+    # ------------------------------------------------------------------ #
+    def solve(
+        self,
+        assumptions: Optional[Sequence[int]] = None,
+        *,
+        conflict_limit: Optional[int] = None,
+        time_limit: Optional[float] = None,
+    ) -> Optional[bool]:
+        """Run the CDCL search.
+
+        Parameters
+        ----------
+        assumptions:
+            Literals assumed true for this call only (incremental interface).
+        conflict_limit:
+            Abort with ``None`` after this many conflicts.
+        time_limit:
+            Abort with ``None`` after this many seconds of wall-clock time.
+        """
+        self.stats.solve_calls += 1
+        if self._unsat:
+            return False
+        assumptions = list(assumptions or [])
+        for lit in assumptions:
+            self._ensure_var(abs(lit))
+        num_assumptions = len(assumptions)
+
+        self._backtrack(0)
+        if self._propagate() is not None:
+            self._unsat = True
+            return False
+
+        deadline = time.monotonic() + time_limit if time_limit else None
+        conflicts_this_call = 0
+        restart_index = 1
+        restart_budget = 32 * _luby(restart_index)
+        conflicts_since_restart = 0
+
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.stats.conflicts += 1
+                conflicts_this_call += 1
+                conflicts_since_restart += 1
+                if self._decision_level() == 0:
+                    self._unsat = True
+                    return False
+                if self._decision_level() <= num_assumptions:
+                    # Conflict depends only on assumptions: UNSAT under them.
+                    self._backtrack(0)
+                    return False
+                learned, back_level = self._analyze(conflict)
+                back_level = max(back_level, num_assumptions)
+                self._backtrack(back_level)
+                if len(learned) == 1:
+                    if not self._enqueue(learned[0], None):
+                        self._unsat = True
+                        return False
+                else:
+                    index = len(self.clauses)
+                    self.clauses.append(learned)
+                    self.stats.learned_clauses += 1
+                    self._watch(learned[0], index)
+                    self._watch(learned[1], index)
+                    self._enqueue(learned[0], index)
+                self._decay_activities()
+
+                if conflict_limit is not None and conflicts_this_call >= conflict_limit:
+                    self._backtrack(0)
+                    return None
+                if deadline is not None and time.monotonic() > deadline:
+                    self._backtrack(0)
+                    return None
+                if conflicts_since_restart >= restart_budget:
+                    self.stats.restarts += 1
+                    restart_index += 1
+                    restart_budget = 32 * _luby(restart_index)
+                    conflicts_since_restart = 0
+                    self._backtrack(min(num_assumptions, self._decision_level()))
+                continue
+
+            # No conflict: place assumptions first, then decide.
+            if self._decision_level() < num_assumptions:
+                lit = assumptions[self._decision_level()]
+                value = self._value(lit)
+                if value == 1:
+                    # Already satisfied: open a dummy level to keep indices aligned.
+                    self._new_decision_level()
+                    continue
+                if value == -1:
+                    self._backtrack(0)
+                    return False
+                self._new_decision_level()
+                self._enqueue(lit, None)
+                continue
+
+            var = self._pick_branch_variable()
+            if var is None:
+                # All variables assigned: SAT.
+                self._model = {
+                    v: (1 if self._assign[v] == 1 else 0)
+                    for v in range(1, self.num_vars + 1)
+                }
+                self._backtrack(0)
+                return True
+            self.stats.decisions += 1
+            if deadline is not None and self.stats.decisions % 512 == 0 and time.monotonic() > deadline:
+                self._backtrack(0)
+                return None
+            self._new_decision_level()
+            phase = self._phase[var]
+            lit = var if phase == 1 else -var
+            self._enqueue(lit, None)
+
+    # ------------------------------------------------------------------ #
+    # results
+    # ------------------------------------------------------------------ #
+    def model(self) -> Dict[int, int]:
+        """The satisfying assignment (var -> 0/1) of the last SAT answer."""
+        return dict(self._model)
+
+    def model_literal(self, lit: int) -> int:
+        """Value (0/1) of a literal under the last model."""
+        value = self._model.get(abs(lit), 0)
+        return value if lit > 0 else 1 - value
+
+
+def solve_cnf(clauses: Iterable[Iterable[int]], assumptions: Optional[Sequence[int]] = None,
+              **kwargs) -> Optional[bool]:
+    """One-shot convenience wrapper: build a solver, add ``clauses``, solve."""
+    solver = Solver()
+    solver.add_clauses(clauses)
+    return solver.solve(assumptions=assumptions, **kwargs)

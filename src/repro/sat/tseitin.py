@@ -1,0 +1,203 @@
+"""Tseitin encoding of circuits into CNF.
+
+Every net of a (combinational view of a) circuit gets a SAT variable; each
+gate contributes the standard Tseitin clauses relating its output variable to
+its input variables.  The encoder also supports *instantiating* the same
+circuit multiple times under different net-name prefixes, which is how the
+attacks build miters and time-frame unrollings without copying circuits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.netlist.circuit import Circuit, CircuitError
+from repro.netlist.gates import Gate, GateType
+from repro.sat.cnf import CNF
+
+
+class TseitinEncoder:
+    """Maps circuit nets to SAT variables and emits gate clauses.
+
+    A single encoder instance can encode several circuits / circuit copies
+    into the same variable space, sharing variables whenever net names are
+    shared (e.g. key inputs common to all time frames of an unrolling).
+    """
+
+    def __init__(self, cnf: Optional[CNF] = None) -> None:
+        self.cnf = cnf if cnf is not None else CNF()
+        self.varmap: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # variables and literals
+    # ------------------------------------------------------------------ #
+    def var(self, net: str) -> int:
+        """Variable for ``net``, allocating it on first use."""
+        existing = self.varmap.get(net)
+        if existing is not None:
+            return existing
+        variable = self.cnf.new_var()
+        self.varmap[net] = variable
+        return variable
+
+    def literal(self, net: str, value: bool) -> int:
+        """Literal asserting that ``net`` equals ``value``."""
+        variable = self.var(net)
+        return variable if value else -variable
+
+    def has(self, net: str) -> bool:
+        """True if ``net`` already has a variable."""
+        return net in self.varmap
+
+    # ------------------------------------------------------------------ #
+    # gate clauses
+    # ------------------------------------------------------------------ #
+    def _encode_and(self, out: int, ins: Sequence[int], *, negate: bool = False) -> None:
+        out_lit = -out if negate else out
+        for lit in ins:
+            self.cnf.add_clause([-out_lit, lit])
+        self.cnf.add_clause([out_lit] + [-lit for lit in ins])
+
+    def _encode_or(self, out: int, ins: Sequence[int], *, negate: bool = False) -> None:
+        out_lit = -out if negate else out
+        for lit in ins:
+            self.cnf.add_clause([out_lit, -lit])
+        self.cnf.add_clause([-out_lit] + list(ins))
+
+    def _encode_xor2(self, out: int, a: int, b: int, *, negate: bool = False) -> None:
+        out_lit = -out if negate else out
+        self.cnf.add_clause([-out_lit, a, b])
+        self.cnf.add_clause([-out_lit, -a, -b])
+        self.cnf.add_clause([out_lit, -a, b])
+        self.cnf.add_clause([out_lit, a, -b])
+
+    def _encode_xor(self, out: int, ins: Sequence[int], *, negate: bool = False) -> None:
+        if len(ins) == 2:
+            self._encode_xor2(out, ins[0], ins[1], negate=negate)
+            return
+        # Chain: t1 = a xor b ; t2 = t1 xor c ; ...
+        prev = ins[0]
+        for index, lit in enumerate(ins[1:], start=1):
+            last = index == len(ins) - 1
+            target = out if last else self.cnf.new_var()
+            self._encode_xor2(target, prev, lit, negate=negate and last)
+            prev = target
+
+    def encode_gate(self, gate: Gate, *, prefix: str = "") -> None:
+        """Emit clauses for one gate (optionally with prefixed net names)."""
+        out = self.var(prefix + gate.output)
+        ins = [self.var(prefix + name) for name in gate.inputs]
+        gtype = gate.gtype
+        if gtype == GateType.BUF:
+            self.cnf.add_clause([-out, ins[0]])
+            self.cnf.add_clause([out, -ins[0]])
+        elif gtype == GateType.NOT:
+            self.cnf.add_clause([-out, -ins[0]])
+            self.cnf.add_clause([out, ins[0]])
+        elif gtype == GateType.AND:
+            self._encode_and(out, ins)
+        elif gtype == GateType.NAND:
+            self._encode_and(out, ins, negate=True)
+        elif gtype == GateType.OR:
+            self._encode_or(out, ins)
+        elif gtype == GateType.NOR:
+            self._encode_or(out, ins, negate=True)
+        elif gtype == GateType.XOR:
+            self._encode_xor(out, ins)
+        elif gtype == GateType.XNOR:
+            self._encode_xor(out, ins, negate=True)
+        elif gtype == GateType.MUX:
+            sel, d0, d1 = ins
+            # out = sel ? d1 : d0
+            self.cnf.add_clause([-out, sel, d0])
+            self.cnf.add_clause([-out, -sel, d1])
+            self.cnf.add_clause([out, sel, -d0])
+            self.cnf.add_clause([out, -sel, -d1])
+        elif gtype == GateType.CONST0:
+            self.cnf.add_clause([-out])
+        elif gtype == GateType.CONST1:
+            self.cnf.add_clause([out])
+        else:  # pragma: no cover - exhaustive above
+            raise CircuitError(f"cannot encode gate type {gtype}")
+
+    # ------------------------------------------------------------------ #
+    # circuit-level encoding
+    # ------------------------------------------------------------------ #
+    def encode(self, circuit: Circuit, *, prefix: str = "",
+               shared_nets: Optional[Mapping[str, str]] = None) -> CNF:
+        """Encode the combinational gates of ``circuit``.
+
+        Parameters
+        ----------
+        prefix:
+            Prepended to every net name; use distinct prefixes to place
+            independent copies of the same circuit in one CNF.
+        shared_nets:
+            Optional mapping ``local net -> global net`` applied *before*
+            prefixing; nets mapped to the same global name share a variable
+            (used to tie key inputs across copies / time frames).
+
+        Flip-flops are **not** encoded; callers decide how to connect the
+        sequential boundary (pseudo-inputs for the combinational attack,
+        frame-to-frame wiring for the unrolling attacks).
+        """
+        shared = dict(shared_nets or {})
+
+        def resolve(net: str) -> str:
+            if net in shared:
+                return shared[net]
+            return prefix + net
+
+        for out in circuit.topological_order():
+            gate = circuit.gates[out]
+            resolved = Gate(
+                output=resolve(gate.output),
+                gtype=gate.gtype,
+                inputs=tuple(resolve(i) for i in gate.inputs),
+            )
+            self.encode_gate(resolved)
+        # Touch IO nets so they always have variables even if undriven/unused.
+        for net in circuit.inputs:
+            self.var(resolve(net))
+        for net in circuit.outputs:
+            self.var(resolve(net))
+        for q, ff in circuit.dffs.items():
+            self.var(resolve(q))
+            self.var(resolve(ff.d))
+        return self.cnf
+
+    # ------------------------------------------------------------------ #
+    # constraint helpers used by the attacks
+    # ------------------------------------------------------------------ #
+    def add_equality(self, net_a: str, net_b: str) -> None:
+        """Constrain two nets to be equal."""
+        a, b = self.var(net_a), self.var(net_b)
+        self.cnf.add_clause([-a, b])
+        self.cnf.add_clause([a, -b])
+
+    def add_value(self, net: str, value: int) -> None:
+        """Constrain a net to a constant value."""
+        self.cnf.add_clause([self.literal(net, bool(value))])
+
+    def add_assignment(self, values: Mapping[str, int], *, prefix: str = "") -> None:
+        """Constrain many nets to constant values."""
+        for net, value in values.items():
+            self.add_value(prefix + net, value)
+
+    def encode_inequality(self, nets_a: Sequence[str], nets_b: Sequence[str]) -> str:
+        """Add logic asserting that two equal-length net vectors differ.
+
+        Returns the name of a fresh net that is true iff the vectors differ
+        in at least one position (the caller typically assumes it true).
+        """
+        if len(nets_a) != len(nets_b):
+            raise ValueError("vectors must have equal length")
+        diff_vars: List[int] = []
+        for a_net, b_net in zip(nets_a, nets_b):
+            diff = self.cnf.new_var()
+            self._encode_xor2(diff, self.var(a_net), self.var(b_net))
+            diff_vars.append(diff)
+        any_name = f"__diff_{len(self.varmap)}"
+        any_var = self.var(any_name)
+        self._encode_or(any_var, diff_vars)
+        return any_name

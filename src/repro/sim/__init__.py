@@ -1,0 +1,30 @@
+"""Logic simulation: combinational evaluation, cycle-accurate sequential
+simulation, waveform capture and equivalence checking.
+
+This package is the reproduction's stand-in for the Xilinx Vivado simulation
+used in the paper's validation section (Tables I and II) and also provides
+the oracle that the oracle-guided attacks query.
+"""
+
+from repro.sim.logicsim import evaluate_combinational, CombinationalSimulator
+from repro.sim.seqsim import SequentialSimulator, simulate_sequence
+from repro.sim.waveform import Waveform, WaveformRow
+from repro.sim.equivalence import (
+    random_equivalence_check,
+    sequential_equivalence_check,
+    sat_equivalence_check,
+    EquivalenceResult,
+)
+
+__all__ = [
+    "evaluate_combinational",
+    "CombinationalSimulator",
+    "SequentialSimulator",
+    "simulate_sequence",
+    "Waveform",
+    "WaveformRow",
+    "random_equivalence_check",
+    "sequential_equivalence_check",
+    "sat_equivalence_check",
+    "EquivalenceResult",
+]

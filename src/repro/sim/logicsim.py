@@ -1,0 +1,141 @@
+"""Combinational logic simulation.
+
+Evaluation is levelized: the circuit's combinational gates are topologically
+sorted once and then evaluated in order for each input assignment.  This is
+the inner loop of the sequential simulator, of the oracle used by the
+SAT-style attacks, and of the switching-activity estimate in the overhead
+model, so it is kept simple and allocation-light.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.netlist.circuit import Circuit, CircuitError
+from repro.netlist.gates import GATE_EVAL
+
+
+def evaluate_combinational(
+    circuit: Circuit,
+    input_values: Mapping[str, int],
+    state_values: Optional[Mapping[str, int]] = None,
+) -> Dict[str, int]:
+    """Evaluate all combinational gates of ``circuit`` once.
+
+    Parameters
+    ----------
+    circuit:
+        The circuit to evaluate.
+    input_values:
+        Values (0/1) for every primary input, including key inputs.
+    state_values:
+        Values for every flip-flop Q net.  May be omitted for purely
+        combinational circuits.
+
+    Returns
+    -------
+    dict
+        Mapping from every net name (inputs, states, gate outputs) to its
+        value.  DFF D nets appear through the gate that drives them.
+    """
+    values: Dict[str, int] = {}
+    for net in circuit.inputs:
+        try:
+            values[net] = int(input_values[net]) & 1
+        except KeyError as exc:
+            raise CircuitError(f"missing value for primary input {net!r}") from exc
+    state_values = state_values or {}
+    for q, ff in circuit.dffs.items():
+        values[q] = int(state_values.get(q, ff.init)) & 1
+
+    for out in circuit.topological_order():
+        gate = circuit.gates[out]
+        operands = [values[i] for i in gate.inputs]
+        values[out] = GATE_EVAL[gate.gtype](operands)
+    return values
+
+
+class CombinationalSimulator:
+    """Reusable combinational simulator with a cached evaluation order.
+
+    Building the topological order is O(gates); for attacks that evaluate the
+    same circuit thousands of times (DIP loops, random equivalence checks)
+    caching it is a significant win.
+    """
+
+    def __init__(self, circuit: Circuit) -> None:
+        self.circuit = circuit
+        self._order: List[str] = circuit.topological_order()
+
+    def refresh(self) -> None:
+        """Recompute the evaluation order after the circuit was mutated."""
+        self._order = self.circuit.topological_order()
+
+    def evaluate(
+        self,
+        input_values: Mapping[str, int],
+        state_values: Optional[Mapping[str, int]] = None,
+    ) -> Dict[str, int]:
+        """Evaluate the circuit; same contract as :func:`evaluate_combinational`."""
+        circuit = self.circuit
+        values: Dict[str, int] = {}
+        for net in circuit.inputs:
+            try:
+                values[net] = int(input_values[net]) & 1
+            except KeyError as exc:
+                raise CircuitError(f"missing value for primary input {net!r}") from exc
+        state_values = state_values or {}
+        for q, ff in circuit.dffs.items():
+            values[q] = int(state_values.get(q, ff.init)) & 1
+        gates = circuit.gates
+        for out in self._order:
+            gate = gates[out]
+            operands = [values[i] for i in gate.inputs]
+            values[out] = GATE_EVAL[gate.gtype](operands)
+        return values
+
+    def outputs(
+        self,
+        input_values: Mapping[str, int],
+        state_values: Optional[Mapping[str, int]] = None,
+    ) -> Dict[str, int]:
+        """Evaluate and return only the primary output values."""
+        values = self.evaluate(input_values, state_values)
+        return {net: values[net] for net in self.circuit.outputs}
+
+    def next_state(
+        self,
+        input_values: Mapping[str, int],
+        state_values: Optional[Mapping[str, int]] = None,
+    ) -> Dict[str, int]:
+        """Evaluate and return the next-state values (DFF D nets keyed by Q)."""
+        values = self.evaluate(input_values, state_values)
+        return {q: values[ff.d] for q, ff in self.circuit.dffs.items()}
+
+
+def toggle_counts(
+    circuit: Circuit,
+    input_vectors: Sequence[Mapping[str, int]],
+    *,
+    initial_state: Optional[Mapping[str, int]] = None,
+) -> Dict[str, int]:
+    """Count output toggles of every net over a sequence of input vectors.
+
+    Used by the overhead model to estimate dynamic (switching) power.  The
+    circuit is simulated cycle by cycle (flip-flops advance each vector) and
+    the number of value changes per net is accumulated.
+    """
+    sim = CombinationalSimulator(circuit)
+    state = {q: ff.init for q, ff in circuit.dffs.items()}
+    if initial_state:
+        state.update({q: int(v) & 1 for q, v in initial_state.items()})
+    previous: Dict[str, int] = {}
+    toggles: Dict[str, int] = {}
+    for vector in input_vectors:
+        values = sim.evaluate(vector, state)
+        for net, value in values.items():
+            if net in previous and previous[net] != value:
+                toggles[net] = toggles.get(net, 0) + 1
+            previous[net] = value
+        state = {q: values[circuit.dffs[q].d] for q in circuit.dffs}
+    return toggles

@@ -1,0 +1,130 @@
+"""Unit tests for the benchmark suites and circuit generators."""
+
+import pytest
+
+from repro.benchmarks_data import (
+    ISCAS89_PROFILES,
+    ITC99_PROFILES,
+    SYNTHEZZA_PROFILES,
+    iscas89_names,
+    itc99_names,
+    load_iscas89,
+    load_itc99,
+    load_synthezza,
+    random_sequential_circuit,
+    synthezza_names,
+    word_structured_circuit,
+)
+from repro.netlist.validate import has_errors, validate_circuit
+from repro.sim.seqsim import SequentialSimulator
+
+
+class TestGenerators:
+    def test_random_sequential_circuit_is_valid_and_deterministic(self):
+        first = random_sequential_circuit("g", num_inputs=4, num_outputs=2,
+                                          num_dffs=5, num_gates=40, seed=9)
+        second = random_sequential_circuit("g", num_inputs=4, num_outputs=2,
+                                           num_dffs=5, num_gates=40, seed=9)
+        assert first.circuit == second.circuit
+        assert not has_errors(validate_circuit(first.circuit))
+        assert len(first.circuit.dffs) == 5
+        assert len(first.circuit.inputs) == 4
+        assert len(first.circuit.outputs) == 2
+
+    def test_random_sequential_different_seed_differs(self):
+        a = random_sequential_circuit("g", num_inputs=4, num_outputs=2,
+                                      num_dffs=5, num_gates=40, seed=1)
+        b = random_sequential_circuit("g", num_inputs=4, num_outputs=2,
+                                      num_dffs=5, num_gates=40, seed=2)
+        assert a.circuit != b.circuit
+
+    def test_generator_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            random_sequential_circuit("g", num_inputs=0, num_outputs=1,
+                                      num_dffs=1, num_gates=1)
+
+    def test_word_structured_ground_truth(self):
+        generated = word_structured_circuit("w", num_inputs=3, num_outputs=2,
+                                            word_sizes=(4, 5, 3), seed=2)
+        assert not has_errors(validate_circuit(generated.circuit))
+        assert len(generated.circuit.dffs) == 12
+        groups = set(generated.register_groups.values())
+        assert groups == {"word0", "word1", "word2"}
+        # every flip-flop belongs to exactly one word
+        assert set(generated.register_groups) == set(generated.circuit.dffs)
+
+    def test_word_structured_simulates(self):
+        generated = word_structured_circuit("w", num_inputs=2, num_outputs=1,
+                                            word_sizes=(3, 3), seed=2)
+        sim = SequentialSimulator(generated.circuit)
+        for cycle in range(8):
+            out = sim.outputs({net: cycle % 2 for net in generated.circuit.inputs})
+            assert set(out) == set(generated.circuit.outputs)
+
+
+class TestIscas89:
+    def test_s27_shape(self):
+        bench = load_iscas89("s27")
+        assert len(bench.circuit.dffs) == 3
+        assert bench.circuit.outputs == ["G17"]
+
+    def test_all_profiles_load_and_validate(self):
+        for name in iscas89_names()[:6]:
+            bench = load_iscas89(name)
+            assert not has_errors(validate_circuit(bench.circuit))
+            profile = ISCAS89_PROFILES[name]
+            assert len(bench.circuit.dffs) == profile.num_dffs or name == "s27"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            load_iscas89("s99999")
+
+    def test_profiles_cover_table4_rows(self):
+        for expected in ("s298", "s1196", "s13207", "s35932"):
+            assert expected in ISCAS89_PROFILES
+
+
+class TestItc99:
+    def test_all_profiles_have_ground_truth(self):
+        for name in itc99_names()[:5]:
+            bench = load_itc99(name)
+            assert set(bench.register_groups) == set(bench.circuit.dffs)
+            assert not has_errors(validate_circuit(bench.circuit))
+
+    def test_sizes_grow_with_index(self):
+        small = ITC99_PROFILES["b01"].num_dffs
+        large = ITC99_PROFILES["b22"].num_dffs
+        assert large > small
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            load_itc99("b99")
+
+    def test_expected_benchmarks_present(self):
+        for expected in ("b01", "b06", "b12", "b14", "b22"):
+            assert expected in ITC99_PROFILES
+
+
+class TestSynthezza:
+    def test_groups(self):
+        assert "bcomp" in synthezza_names("small")
+        assert "acdl" in synthezza_names("medium")
+        assert "tiger" in synthezza_names("large")
+        assert len(synthezza_names()) == len(SYNTHEZZA_PROFILES)
+
+    def test_loaded_fsm_matches_profile(self):
+        for name in ("bcomp", "ball", "lion"):
+            profile = SYNTHEZZA_PROFILES[name]
+            fsm = load_synthezza(name)
+            assert fsm.num_states == profile.num_states
+            assert fsm.num_inputs == profile.num_inputs
+            assert fsm.is_complete()
+
+    def test_profiles_record_paper_parameters(self):
+        assert SYNTHEZZA_PROFILES["bcomp"].num_keys == 6
+        assert SYNTHEZZA_PROFILES["bcomp"].key_width == 18
+        assert SYNTHEZZA_PROFILES["absurd"].num_keys == 21
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            load_synthezza("nonexistent")

@@ -1,0 +1,63 @@
+"""Unit tests for the experiment report containers and the runner module."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.report import ExperimentTable, format_table
+from repro.experiments.runner import write_report
+
+
+class TestFormatTable:
+    def test_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_column_subset_and_order(self):
+        rows = [{"a": 1, "b": 2, "c": 3}]
+        text = format_table(rows, columns=["c", "a"])
+        header = text.splitlines()[0]
+        assert header.index("c") < header.index("a")
+        assert "b" not in header
+
+    def test_float_formatting(self):
+        text = format_table([{"x": 1.23456}])
+        assert "1.235" in text
+
+    def test_missing_cells_render_empty(self):
+        text = format_table([{"a": 1}, {"a": 2, "b": 5}], columns=["a", "b"])
+        assert text.count("|") >= 2
+
+
+class TestExperimentTable:
+    def test_add_row_and_column(self):
+        table = ExperimentTable(name="T", title="demo", columns=["x", "y"])
+        table.add_row(x=1, y=2)
+        table.add_row(x=3, y=4)
+        assert table.column("x") == [1, 3]
+
+    def test_to_text_includes_notes(self):
+        table = ExperimentTable(name="T", title="demo", columns=["x"])
+        table.add_row(x=1)
+        table.notes.append("important caveat")
+        text = table.to_text()
+        assert text.startswith("## T: demo")
+        assert "important caveat" in text
+
+    def test_write(self, tmp_path):
+        table = ExperimentTable(name="T", title="demo", columns=["x"])
+        table.add_row(x=42)
+        path = table.write(tmp_path / "out.md")
+        assert "42" in Path(path).read_text()
+
+
+class TestWriteReport:
+    def test_combined_report(self, tmp_path):
+        table_a = ExperimentTable(name="Table I", title="first", columns=["x"])
+        table_a.add_row(x=1)
+        table_b = ExperimentTable(name="Table II", title="second", columns=["y"])
+        table_b.add_row(y=2)
+        path = write_report({"a": table_a, "b": table_b}, str(tmp_path / "report.md"),
+                            elapsed=1.5)
+        content = Path(path).read_text()
+        assert "Table I" in content and "Table II" in content
+        assert "Total runtime" in content

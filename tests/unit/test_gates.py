@@ -1,0 +1,79 @@
+"""Unit tests for the gate primitives (repro.netlist.gates)."""
+
+import pytest
+
+from repro.netlist.gates import DFF, GATE_EVAL, Gate, GateType, gate_eval
+
+
+class TestGateEvaluation:
+    def test_and_or_truth(self):
+        assert gate_eval(GateType.AND, [1, 1, 1]) == 1
+        assert gate_eval(GateType.AND, [1, 0, 1]) == 0
+        assert gate_eval(GateType.OR, [0, 0, 0]) == 0
+        assert gate_eval(GateType.OR, [0, 1, 0]) == 1
+
+    def test_nand_nor_are_negations(self):
+        for values in ([0, 0], [0, 1], [1, 0], [1, 1]):
+            assert gate_eval(GateType.NAND, values) == 1 - gate_eval(GateType.AND, values)
+            assert gate_eval(GateType.NOR, values) == 1 - gate_eval(GateType.OR, values)
+
+    def test_xor_xnor_parity(self):
+        assert gate_eval(GateType.XOR, [1, 1, 1]) == 1
+        assert gate_eval(GateType.XOR, [1, 1]) == 0
+        assert gate_eval(GateType.XNOR, [1, 0]) == 0
+        assert gate_eval(GateType.XNOR, [1, 1]) == 1
+
+    def test_not_buf(self):
+        assert gate_eval(GateType.NOT, [0]) == 1
+        assert gate_eval(GateType.NOT, [1]) == 0
+        assert gate_eval(GateType.BUF, [1]) == 1
+
+    def test_mux_semantics(self):
+        # MUX(sel, d0, d1) -> d1 if sel else d0
+        assert gate_eval(GateType.MUX, [0, 0, 1]) == 0
+        assert gate_eval(GateType.MUX, [1, 0, 1]) == 1
+        assert gate_eval(GateType.MUX, [1, 1, 0]) == 0
+
+    def test_constants(self):
+        assert gate_eval(GateType.CONST0, []) == 0
+        assert gate_eval(GateType.CONST1, []) == 1
+
+    def test_every_gate_type_has_an_evaluator(self):
+        for gtype in GateType:
+            assert gtype in GATE_EVAL
+
+
+class TestGateConstruction:
+    def test_arity_enforced_not(self):
+        with pytest.raises(ValueError):
+            Gate(output="y", gtype=GateType.NOT, inputs=("a", "b"))
+
+    def test_arity_enforced_and(self):
+        with pytest.raises(ValueError):
+            Gate(output="y", gtype=GateType.AND, inputs=("a",))
+
+    def test_arity_enforced_mux(self):
+        with pytest.raises(ValueError):
+            Gate(output="y", gtype=GateType.MUX, inputs=("s", "a"))
+
+    def test_remapped_renames_output_and_inputs(self):
+        gate = Gate(output="y", gtype=GateType.AND, inputs=("a", "b"))
+        renamed = gate.remapped({"y": "Y", "a": "A"})
+        assert renamed.output == "Y"
+        assert renamed.inputs == ("A", "b")
+
+    def test_gate_evaluate_method(self):
+        gate = Gate(output="y", gtype=GateType.NOR, inputs=("a", "b"))
+        assert gate.evaluate([0, 0]) == 1
+        assert gate.evaluate([1, 0]) == 0
+
+
+class TestDff:
+    def test_init_value_validation(self):
+        with pytest.raises(ValueError):
+            DFF(q="q", d="d", init=2)
+
+    def test_remapped(self):
+        ff = DFF(q="q", d="d", init=1)
+        renamed = ff.remapped({"q": "Q", "d": "D"})
+        assert renamed.q == "Q" and renamed.d == "D" and renamed.init == 1
