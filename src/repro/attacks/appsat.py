@@ -14,13 +14,13 @@ import random
 import time
 from typing import Dict, Optional, Union
 
-from repro.attacks.oracle import CombinationalOracle
 from repro.attacks.results import AttackOutcome, AttackResult
 from repro.attacks.sat_attack import _IncrementalCnf, _as_locked_pair
+from repro.engine.batch_oracle import BatchedCombinationalOracle
+from repro.engine.packed import PackedSimulator
 from repro.locking.base import LockedCircuit
 from repro.netlist.circuit import Circuit
 from repro.sim.equivalence import random_equivalence_check
-from repro.sim.logicsim import CombinationalSimulator
 
 
 def appsat_attack(
@@ -54,8 +54,8 @@ def appsat_attack(
                             details={"reason": "circuit has no key inputs"})
 
     locked_view = locked_circuit.combinational_view() if locked_circuit.dffs else locked_circuit
-    oracle = CombinationalOracle(original)
-    locked_sim = CombinationalSimulator(locked_view)
+    oracle = BatchedCombinationalOracle(original)
+    locked_sim = PackedSimulator(locked_view)
 
     key_nets = list(locked_view.key_inputs)
     functional_nets = [n for n in locked_view.inputs if n not in set(key_nets)]
@@ -86,13 +86,20 @@ def appsat_attack(
         return {net: model.get(encoder.varmap.get(f"A@{net}", -1), 0) for net in key_nets}
 
     def sample_error(candidate: Dict[str, int]) -> float:
-        errors = 0
-        for _ in range(samples_per_round):
-            vector = {net: rng.randint(0, 1) for net in functional_nets}
-            locked_out = locked_sim.outputs({**vector, **candidate})
-            oracle_out = oracle.query(vector)
-            if any(locked_out[o] != oracle_out[o] for o in shared_outputs):
-                errors += 1
+        # One packed pass per side: all samples of the round are lanes.
+        vectors = [
+            {net: rng.randint(0, 1) for net in functional_nets}
+            for _ in range(samples_per_round)
+        ]
+        oracle_outs = oracle.query_batch(vectors)
+        locked_outs = locked_sim.outputs_batch(
+            [{**vector, **candidate} for vector in vectors]
+        )
+        errors = sum(
+            1
+            for locked_out, oracle_out in zip(locked_outs, oracle_outs)
+            if any(locked_out[o] != oracle_out[o] for o in shared_outputs)
+        )
         return errors / max(samples_per_round, 1)
 
     def add_dip_constraints(dip: Dict[str, int], response: Dict[str, int]) -> None:

@@ -24,7 +24,7 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple, Union
 
 from repro.locking.base import LockedCircuit
 from repro.netlist.circuit import Circuit
@@ -120,8 +120,15 @@ def _cluster_signatures(
     clusters: List[Set[str]],
     predecessors: Dict[str, Set[str]],
     successors: Dict[str, Set[str]],
-) -> List[Tuple[FrozenSet[int], FrozenSet[int]]]:
-    """Per-cluster (predecessor-cluster-set, successor-cluster-set) signature."""
+    activity_class: Optional[Dict[str, int]] = None,
+) -> List[Tuple]:
+    """Per-cluster (predecessor-cluster-set, successor-cluster-set) signature.
+
+    When ``activity_class`` is given (FF Q net -> quantized toggle-rate
+    class from a packed random simulation), the class set of the cluster's
+    members is appended to the signature, so only clusters with matching
+    dynamic behaviour merge.
+    """
     cluster_of: Dict[str, int] = {}
     for index, members in enumerate(clusters):
         for q in members:
@@ -135,8 +142,31 @@ def _cluster_signatures(
             succ_clusters.update(cluster_of[s] for s in successors.get(q, ()))
         pred_clusters.discard(index)
         succ_clusters.discard(index)
-        signatures.append((frozenset(pred_clusters), frozenset(succ_clusters)))
+        signature: Tuple = (frozenset(pred_clusters), frozenset(succ_clusters))
+        if activity_class is not None:
+            signature += (frozenset(activity_class.get(q, -1) for q in members),)
+        signatures.append(signature)
     return signatures
+
+
+def _activity_classes(
+    circuit: Circuit, *, cycles: int, buckets: int, seed: int
+) -> Dict[str, int]:
+    """Quantized per-FF toggle rates from one packed random simulation."""
+    import random
+
+    from repro.engine.equivalence import packed_toggle_counts
+
+    rng = random.Random(seed)
+    vectors = [
+        {net: rng.randint(0, 1) for net in circuit.inputs} for _ in range(cycles)
+    ]
+    toggles = packed_toggle_counts(circuit, vectors)
+    transitions = max(1, cycles - 1)
+    return {
+        q: min(buckets - 1, (toggles.get(q, 0) * buckets) // (transitions + 1))
+        for q in circuit.dffs
+    }
 
 
 def cluster_registers(
@@ -144,12 +174,27 @@ def cluster_registers(
     *,
     max_rounds: int = 8,
     max_group_size: Optional[int] = 64,
+    use_activity_signatures: bool = False,
+    activity_cycles: int = 64,
+    activity_buckets: int = 8,
+    activity_seed: int = 0,
 ) -> Tuple[List[List[str]], int]:
     """Run the DANA-style register clustering.
 
     Returns the clusters (lists of FF Q nets) and the number of evolution
-    rounds performed.
+    rounds performed.  ``use_activity_signatures`` additionally constrains
+    merges with per-FF switching-activity classes measured by the packed
+    engine on ``activity_cycles`` random cycles (off by default, preserving
+    the purely structural published pipeline).
     """
+    activity_class: Optional[Dict[str, int]] = None
+    if use_activity_signatures:
+        activity_class = _activity_classes(
+            circuit,
+            cycles=activity_cycles,
+            buckets=activity_buckets,
+            seed=activity_seed,
+        )
     predecessors = register_dependency_graph(circuit)
     successors: Dict[str, Set[str]] = {q: set() for q in predecessors}
     for q, preds in predecessors.items():
@@ -160,8 +205,9 @@ def cluster_registers(
     rounds = 0
     for _ in range(max_rounds):
         rounds += 1
-        signatures = _cluster_signatures(clusters, predecessors, successors)
-        groups: Dict[Tuple[FrozenSet[int], FrozenSet[int]], List[int]] = {}
+        signatures = _cluster_signatures(clusters, predecessors, successors, activity_class)
+        # Keys are 2-tuples, or 3-tuples when activity classes are enabled.
+        groups: Dict[Tuple, List[int]] = {}
         for index, signature in enumerate(signatures):
             groups.setdefault(signature, []).append(index)
         merged: List[Set[str]] = []
@@ -190,6 +236,7 @@ def dana_attack(
     max_rounds: int = 8,
     degenerate_as_zero: bool = True,
     singleton_failure_ratio: float = 0.6,
+    use_activity_signatures: bool = False,
 ) -> DanaReport:
     """Run DANA register clustering and (optionally) score it against a
     ground-truth register-to-word assignment.
@@ -213,7 +260,11 @@ def dana_attack(
     else:
         circuit = target
     start = time.monotonic()
-    clusters, rounds = cluster_registers(circuit, max_rounds=max_rounds)
+    clusters, rounds = cluster_registers(
+        circuit,
+        max_rounds=max_rounds,
+        use_activity_signatures=use_activity_signatures,
+    )
 
     report = DanaReport(circuit_name=circuit.name, clusters=clusters, rounds=rounds)
     if ground_truth is not None:

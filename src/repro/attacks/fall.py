@@ -27,7 +27,10 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
+import random
+
 from repro.attacks.results import AttackOutcome, AttackResult
+from repro.engine.packed import PackedSimulator
 from repro.locking.base import LockedCircuit
 from repro.netlist.circuit import Circuit
 from repro.netlist.gates import Gate, GateType
@@ -139,6 +142,34 @@ def _find_pattern_comparators(
     return comparators
 
 
+class _PackedPrefilter:
+    """Cheap sound refutation before the SAT confirmation call.
+
+    Confirmation requires ``restore_net == strip_net`` for *every* input
+    under the candidate key; one packed pass over random vectors refutes a
+    wrong candidate with a concrete witness and skips its SAT call.  A
+    ``False`` return from :meth:`refutes` proves nothing (confirmation stays
+    with the SAT check).
+
+    The random stimulus words are drawn once per view; each candidate only
+    overlays its key nets as constant all-0/all-1 words.
+    """
+
+    def __init__(self, view: Circuit, *, num_vectors: int = 64, seed: int = 0) -> None:
+        self._sim = PackedSimulator(view)
+        self._width = num_vectors
+        self._mask = (1 << num_vectors) - 1
+        rng = random.Random(seed)
+        self._base_words = {net: rng.getrandbits(num_vectors) for net in view.inputs}
+
+    def refutes(self, restore_net: str, strip_net: str, candidate: Dict[str, int]) -> bool:
+        words = dict(self._base_words)
+        for net, value in candidate.items():
+            words[net] = self._mask if value & 1 else 0
+        out = self._sim.eval_words(words, width=self._width)
+        return out[restore_net] != out[strip_net]
+
+
 def _confirm_candidate(
     locked_view: Circuit,
     restore_net: str,
@@ -193,6 +224,8 @@ def fall_attack(
     restore_units = _find_restore_units(view)
     report.details["restore_units"] = [u["net"] for u in restore_units]
 
+    prefilter: Optional[_PackedPrefilter] = None
+    prefiltered = 0
     for unit in restore_units:
         pairs = unit["pairs"]
         signals = [signal for _, signal, _ in pairs]
@@ -211,6 +244,11 @@ def fall_attack(
             if candidate in report.candidates:
                 continue
             report.candidates.append(candidate)
+            if prefilter is None:
+                prefilter = _PackedPrefilter(view)
+            if prefilter.refutes(unit["net"], comparator["net"], candidate):
+                prefiltered += 1
+                continue
             confirmed = _confirm_candidate(
                 view, unit["net"], comparator["net"], candidate,
                 conflict_limit=conflict_limit,
@@ -223,5 +261,6 @@ def fall_attack(
             if confirmed:
                 report.confirmed_keys.append(candidate)
 
+    report.details["prefiltered_candidates"] = prefiltered
     report.cpu_time = time.monotonic() - start
     return report

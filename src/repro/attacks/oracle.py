@@ -32,8 +32,16 @@ class CombinationalOracle:
     def __init__(self, original: Circuit) -> None:
         self.circuit = original
         self.view = original.combinational_view() if original.dffs else original
-        self._sim = CombinationalSimulator(self.view)
+        self._scalar_sim: Optional[CombinationalSimulator] = None
         self.queries = 0
+
+    @property
+    def _sim(self) -> CombinationalSimulator:
+        # Built on first query so subclasses that answer through another
+        # engine (the batched oracle) never pay for the scalar simulator.
+        if self._scalar_sim is None:
+            self._scalar_sim = CombinationalSimulator(self.view)
+        return self._scalar_sim
 
     @property
     def input_nets(self) -> List[str]:
@@ -46,7 +54,16 @@ class CombinationalOracle:
         return list(self.view.outputs)
 
     def query(self, assignment: Mapping[str, int]) -> Dict[str, int]:
-        """Apply one input/state vector and return outputs and next state."""
+        """Apply one input/state vector and return the observed response.
+
+        The response maps every net in :attr:`output_nets` to its value.
+        For a sequential circuit attacked through the scan chain this covers
+        both the primary outputs *and* the captured next state — the latter
+        appears as the ``<q>__ns`` pseudo-outputs of the combinational view
+        (see :meth:`Circuit.combinational_view`), not under the Q net names.
+        For a purely combinational circuit the response is exactly the
+        primary outputs.  Missing nets in ``assignment`` default to 0.
+        """
         self.queries += 1
         vector = {net: int(assignment.get(net, 0)) & 1 for net in self.view.inputs}
         return self._sim.outputs(vector)
@@ -57,8 +74,17 @@ class SequentialOracle:
 
     def __init__(self, original: Circuit) -> None:
         self.circuit = original
+        self._scalar_sim: Optional[SequentialSimulator] = None
         self.queries = 0
         self.cycles = 0
+
+    @property
+    def _sim(self) -> SequentialSimulator:
+        # Built once on first query and reused (the chip is simply reset,
+        # not re-manufactured); lazy so the batched subclass never builds it.
+        if self._scalar_sim is None:
+            self._scalar_sim = SequentialSimulator(self.circuit)
+        return self._scalar_sim
 
     @property
     def input_nets(self) -> List[str]:
@@ -72,7 +98,8 @@ class SequentialOracle:
         """Reset the chip, apply ``input_sequence`` and return per-cycle outputs."""
         self.queries += 1
         self.cycles += len(input_sequence)
-        sim = SequentialSimulator(self.circuit)
+        sim = self._sim
+        sim.reset()
         outputs: List[Dict[str, int]] = []
         for vector in input_sequence:
             full = {net: int(vector.get(net, 0)) & 1 for net in self.circuit.inputs}

@@ -19,8 +19,8 @@ from __future__ import annotations
 import time
 from typing import Dict, List, Mapping, Optional, Tuple, Union
 
-from repro.attacks.oracle import CombinationalOracle
 from repro.attacks.results import AttackOutcome, AttackResult
+from repro.engine.batch_oracle import BatchedCombinationalOracle
 from repro.locking.base import LockedCircuit
 from repro.netlist.circuit import Circuit
 from repro.sat.solver import Solver
@@ -91,7 +91,9 @@ def sat_attack(
         )
 
     locked_view = locked_circuit.combinational_view() if locked_circuit.dffs else locked_circuit
-    oracle = CombinationalOracle(original)
+    # Batched oracle: DIP queries are inherently one-at-a-time, but the final
+    # key verification and any sampling ride the packed engine for free.
+    oracle = BatchedCombinationalOracle(original)
 
     key_nets = list(locked_view.key_inputs)
     functional_nets = [n for n in locked_view.inputs if n not in set(key_nets)]

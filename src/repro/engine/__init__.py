@@ -1,0 +1,59 @@
+"""Bit-parallel packed simulation engine.
+
+The engine compiles a :class:`~repro.netlist.circuit.Circuit` once into a
+flat, levelized program over integer net slots (no string lookups in the
+inner loop) and evaluates W input vectors per pass by packing them into
+arbitrary-width Python ints: bit ``j`` of a net's word is the net's value
+under vector ``j``.  One pass of bitwise word operations then replaces W
+scalar evaluations, which turns the dominant cost of the oracle-guided
+attacks, the random equivalence checks and the switching-activity model
+from O(gates x vectors) Python dispatch into O(gates) word arithmetic.
+
+Layers
+------
+* :mod:`repro.engine.compiler` — Circuit -> :class:`CompiledCircuit` (flat
+  op list, levelization, exec-generated bitwise kernels);
+* :mod:`repro.engine.packed` — :class:`PackedSimulator` plus the
+  pack/unpack transpose helpers between per-net words and per-vector dicts;
+* :mod:`repro.engine.batch_oracle` — batched drop-in oracles preserving the
+  query-count accounting of :mod:`repro.attacks.oracle`;
+* :mod:`repro.engine.equivalence` — packed random equivalence checking and
+  packed toggle/activity counting.
+
+The scalar simulators in :mod:`repro.sim` remain the reference
+implementation; the engine is cross-checked against them bit-for-bit by the
+property tests.
+"""
+
+from repro.engine.compiler import CompiledCircuit, compile_circuit
+from repro.engine.packed import (
+    PackedSimulator,
+    pack_bits,
+    pack_vectors,
+    unpack_bits,
+    unpack_vectors,
+)
+from repro.engine.batch_oracle import (
+    BatchedCombinationalOracle,
+    BatchedSequentialOracle,
+)
+from repro.engine.equivalence import (
+    packed_random_equivalence_check,
+    packed_sequential_equivalence_check,
+    packed_toggle_counts,
+)
+
+__all__ = [
+    "CompiledCircuit",
+    "compile_circuit",
+    "PackedSimulator",
+    "pack_bits",
+    "unpack_bits",
+    "pack_vectors",
+    "unpack_vectors",
+    "BatchedCombinationalOracle",
+    "BatchedSequentialOracle",
+    "packed_random_equivalence_check",
+    "packed_sequential_equivalence_check",
+    "packed_toggle_counts",
+]

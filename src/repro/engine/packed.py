@@ -1,0 +1,266 @@
+"""The packed bit-parallel runtime.
+
+Vectors are *transposed*: instead of one dict of 0/1 values per vector, the
+engine keeps one arbitrary-width Python int per net, where bit ``j`` holds
+the net's value under vector ``j`` (lane ``j``).  The helpers at the top of
+this module convert between the two layouts; :class:`PackedSimulator` runs
+the compiled flat program over the word layout.
+
+The batch entry points (``evaluate_batch`` / ``outputs_batch`` /
+``next_state_batch``) mirror the scalar :class:`~repro.sim.logicsim.\
+CombinationalSimulator` contract vector-for-vector, including the missing-
+input :class:`~repro.netlist.circuit.CircuitError` and the ``ff.init``
+default for absent state bits, so the two simulators are interchangeable and
+can be diffed bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.engine.compiler import CompiledCircuit, compile_circuit
+from repro.netlist.circuit import Circuit, CircuitError
+
+#: Per-lane state: either one mapping broadcast to every lane, or one
+#: mapping per lane.
+StateArg = Optional[Union[Mapping[str, int], Sequence[Mapping[str, int]]]]
+
+
+def pack_bits(bits: Sequence[int]) -> int:
+    """Pack scalar 0/1 values into a word (bit ``j`` = ``bits[j] & 1``)."""
+    word = 0
+    for lane, bit in enumerate(bits):
+        if bit & 1:
+            word |= 1 << lane
+    return word
+
+
+def unpack_bits(word: int, count: int) -> List[int]:
+    """Inverse of :func:`pack_bits` for the first ``count`` lanes."""
+    return [(word >> lane) & 1 for lane in range(count)]
+
+
+def pack_vectors(
+    vectors: Sequence[Mapping[str, int]],
+    nets: Sequence[str],
+    *,
+    default: Optional[int] = None,
+) -> Dict[str, int]:
+    """Transpose per-vector dicts into per-net words.
+
+    ``default`` fills lanes whose mapping lacks a net; with ``default=None``
+    a missing net raises :class:`CircuitError` (the scalar simulator's
+    missing-primary-input behaviour).
+    """
+    words: Dict[str, int] = {}
+    for net in nets:
+        word = 0
+        bit = 1
+        if default is None:
+            try:
+                for vector in vectors:
+                    if int(vector[net]) & 1:
+                        word |= bit
+                    bit <<= 1
+            except KeyError as exc:
+                raise CircuitError(f"missing value for primary input {net!r}") from exc
+        else:
+            for vector in vectors:
+                if int(vector.get(net, default)) & 1:
+                    word |= bit
+                bit <<= 1
+        words[net] = word
+    return words
+
+
+def unpack_vectors(
+    words: Mapping[str, int], nets: Sequence[str], count: int
+) -> List[Dict[str, int]]:
+    """Transpose per-net words back into ``count`` per-vector dicts."""
+    vectors: List[Dict[str, int]] = [{} for _ in range(count)]
+    for net in nets:
+        word = words[net]
+        for lane in range(count):
+            vectors[lane][net] = (word >> lane) & 1
+    return vectors
+
+
+class PackedSimulator:
+    """Bit-parallel simulator over a compiled circuit.
+
+    Word-level methods (``eval_words``, ``output_words``,
+    ``next_state_words``, ``step_words``) operate directly on per-net words
+    and take an explicit ``width``; batch methods accept/return per-vector
+    dicts and infer the width from the batch size.
+    """
+
+    def __init__(self, circuit: Circuit, *, compiled: Optional[CompiledCircuit] = None) -> None:
+        self.circuit = circuit
+        self.compiled = compiled if compiled is not None else compile_circuit(circuit)
+
+    def refresh(self) -> None:
+        """Recompile after the circuit was mutated."""
+        self.compiled = compile_circuit(self.circuit)
+
+    # ------------------------------------------------------------------ #
+    # word-level API
+    # ------------------------------------------------------------------ #
+    def initial_state_words(self, width: int) -> Dict[str, int]:
+        """Reset-value words for every flip-flop (init broadcast to all lanes)."""
+        mask = (1 << width) - 1
+        return {q: (mask if init else 0) for q, _, init in self.compiled.state_items}
+
+    def _eval_slots(
+        self,
+        input_words: Mapping[str, int],
+        state_words: Optional[Mapping[str, int]],
+        width: int,
+    ) -> List[int]:
+        compiled = self.compiled
+        mask = (1 << width) - 1
+        values = [0] * compiled.num_slots
+        for net, slot in zip(self.circuit.inputs, compiled.input_slots):
+            try:
+                values[slot] = input_words[net] & mask
+            except KeyError as exc:
+                raise CircuitError(f"missing word for primary input {net!r}") from exc
+        state_words = state_words or {}
+        for q, slot, init in compiled.state_items:
+            word = state_words.get(q)
+            if word is None:
+                word = mask if init else 0
+            values[slot] = word & mask
+        compiled.run(values, mask)
+        return values
+
+    def eval_words(
+        self,
+        input_words: Mapping[str, int],
+        state_words: Optional[Mapping[str, int]] = None,
+        *,
+        width: int,
+    ) -> Dict[str, int]:
+        """Evaluate one packed pass; returns a word for every net."""
+        values = self._eval_slots(input_words, state_words, width)
+        names = self.compiled.net_names
+        return {names[slot]: values[slot] for slot in range(len(names))}
+
+    def output_words(
+        self,
+        input_words: Mapping[str, int],
+        state_words: Optional[Mapping[str, int]] = None,
+        *,
+        width: int,
+    ) -> Dict[str, int]:
+        """Evaluate and return only the primary-output words."""
+        values = self._eval_slots(input_words, state_words, width)
+        return {
+            net: values[slot]
+            for net, slot in zip(self.circuit.outputs, self.compiled.output_slots)
+        }
+
+    def next_state_words(
+        self,
+        input_words: Mapping[str, int],
+        state_words: Optional[Mapping[str, int]] = None,
+        *,
+        width: int,
+    ) -> Dict[str, int]:
+        """Evaluate and return the next-state words keyed by Q net."""
+        values = self._eval_slots(input_words, state_words, width)
+        return {q: values[d_slot] for q, d_slot in self.compiled.dff_d_slots}
+
+    def step_words(
+        self,
+        input_words: Mapping[str, int],
+        state_words: Optional[Mapping[str, int]],
+        *,
+        width: int,
+    ) -> Tuple[Dict[str, int], Dict[str, int]]:
+        """One packed clock edge: returns ``(output_words, next_state_words)``.
+
+        All lanes advance together; ``state_words=None`` starts every lane
+        from the flip-flop reset values.
+        """
+        values = self._eval_slots(input_words, state_words, width)
+        compiled = self.compiled
+        outputs = {
+            net: values[slot]
+            for net, slot in zip(self.circuit.outputs, compiled.output_slots)
+        }
+        next_state = {q: values[d_slot] for q, d_slot in compiled.dff_d_slots}
+        return outputs, next_state
+
+    # ------------------------------------------------------------------ #
+    # batch (per-vector dict) API
+    # ------------------------------------------------------------------ #
+    def _pack_states(self, state_vectors: StateArg, width: int) -> Optional[Dict[str, int]]:
+        if state_vectors is None:
+            return None
+        mask = (1 << width) - 1
+        if isinstance(state_vectors, Mapping):
+            # One assignment broadcast across every lane.
+            return {
+                q: (mask if int(value) & 1 else 0)
+                for q, value in state_vectors.items()
+            }
+        words: Dict[str, int] = {}
+        for q, _, init in self.compiled.state_items:
+            word = 0
+            for lane, state in enumerate(state_vectors):
+                value = state.get(q, init)
+                if int(value) & 1:
+                    word |= 1 << lane
+            words[q] = word
+        return words
+
+    def evaluate_batch(
+        self,
+        input_vectors: Sequence[Mapping[str, int]],
+        state_vectors: StateArg = None,
+    ) -> List[Dict[str, int]]:
+        """Evaluate every vector; one full net-value dict per vector."""
+        width = len(input_vectors)
+        if width == 0:
+            return []
+        input_words = pack_vectors(input_vectors, self.circuit.inputs)
+        values = self._eval_slots(input_words, self._pack_states(state_vectors, width), width)
+        names = self.compiled.net_names
+        return [
+            {names[slot]: (values[slot] >> lane) & 1 for slot in range(len(names))}
+            for lane in range(width)
+        ]
+
+    def outputs_batch(
+        self,
+        input_vectors: Sequence[Mapping[str, int]],
+        state_vectors: StateArg = None,
+    ) -> List[Dict[str, int]]:
+        """Evaluate every vector; one primary-output dict per vector."""
+        width = len(input_vectors)
+        if width == 0:
+            return []
+        input_words = pack_vectors(input_vectors, self.circuit.inputs)
+        values = self._eval_slots(input_words, self._pack_states(state_vectors, width), width)
+        pairs = list(zip(self.circuit.outputs, self.compiled.output_slots))
+        return [
+            {net: (values[slot] >> lane) & 1 for net, slot in pairs}
+            for lane in range(width)
+        ]
+
+    def next_state_batch(
+        self,
+        input_vectors: Sequence[Mapping[str, int]],
+        state_vectors: StateArg = None,
+    ) -> List[Dict[str, int]]:
+        """Evaluate every vector; one next-state dict (keyed by Q) per vector."""
+        width = len(input_vectors)
+        if width == 0:
+            return []
+        input_words = pack_vectors(input_vectors, self.circuit.inputs)
+        values = self._eval_slots(input_words, self._pack_states(state_vectors, width), width)
+        pairs = self.compiled.dff_d_slots
+        return [
+            {q: (values[d_slot] >> lane) & 1 for q, d_slot in pairs}
+            for lane in range(width)
+        ]

@@ -13,6 +13,7 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+from repro.engine.packed import PackedSimulator, pack_vectors
 from repro.locking.base import KeySchedule, LockedCircuit
 from repro.sim.seqsim import SequentialSimulator, apply_key_to_sequence
 
@@ -61,6 +62,7 @@ def output_corruptibility(
     sequence_length: int = 32,
     num_sequences: int = 4,
     seed: int = 0,
+    engine: str = "packed",
 ) -> CorruptibilityReport:
     """Measure how strongly wrong key schedules corrupt the outputs.
 
@@ -68,7 +70,14 @@ def output_corruptibility(
     simulated side by side with the original over seeded random stimulus; the
     fraction of differing (cycle, output) samples and the first divergence
     cycle are recorded.
+
+    ``engine="packed"`` (the default) simulates each trial's sequences as
+    lanes of one bit-parallel run per circuit via :mod:`repro.engine`;
+    ``engine="scalar"`` keeps the sequence-at-a-time reference loop.  Both
+    draw the same seeded stimulus and report identical statistics.
     """
+    if engine not in ("packed", "scalar"):
+        raise ValueError(f"unknown engine {engine!r} (expected 'packed' or 'scalar')")
     rng = random.Random(seed)
     original = locked.original
     shared_outputs = [o for o in original.outputs if o in set(locked.circuit.outputs)]
@@ -80,27 +89,65 @@ def output_corruptibility(
     corrupted_samples = 0
     first_divergences: List[Optional[int]] = []
 
+    if engine == "packed":
+        golden_sim = PackedSimulator(original)
+        observed_sim = PackedSimulator(locked.circuit)
+
     for _ in range(trials):
         wrong = _random_wrong_schedule(locked.schedule, rng)
         first_divergence: Optional[int] = None
+        # Stimulus is drawn identically for both engines (simulation itself
+        # consumes no random bits), sequence by sequence.
+        original_seqs: List[List[Dict[str, int]]] = []
+        locked_seqs: List[List[Dict[str, int]]] = []
         for _ in range(num_sequences):
             vectors = [
                 {net: rng.randint(0, 1) for net in functional_inputs}
                 for _ in range(sequence_length)
             ]
-            original_vectors = [
-                {net: vec.get(net, 0) for net in original.inputs} for vec in vectors
-            ]
-            locked_vectors = apply_key_to_sequence(vectors, locked.key_inputs, wrong.values)
-            golden = SequentialSimulator(original).run(original_vectors)
-            observed = SequentialSimulator(locked.circuit).run(locked_vectors)
-            for cycle, (row_g, row_o) in enumerate(zip(golden.rows, observed.rows)):
+            original_seqs.append(
+                [{net: vec.get(net, 0) for net in original.inputs} for vec in vectors]
+            )
+            locked_seqs.append(
+                apply_key_to_sequence(vectors, locked.key_inputs, wrong.values)
+            )
+        if engine == "packed":
+            # The trial's sequences become lanes of one lockstep run per
+            # circuit.
+            lanes = num_sequences
+            golden_state = golden_sim.initial_state_words(lanes)
+            observed_state = observed_sim.initial_state_words(lanes)
+            for cycle in range(sequence_length):
+                golden_words = pack_vectors(
+                    [seq[cycle] for seq in original_seqs], original.inputs
+                )
+                observed_words = pack_vectors(
+                    [seq[cycle] for seq in locked_seqs], locked.circuit.inputs
+                )
+                golden_out, golden_state = golden_sim.step_words(
+                    golden_words, golden_state, width=lanes
+                )
+                observed_out, observed_state = observed_sim.step_words(
+                    observed_words, observed_state, width=lanes
+                )
                 for net in shared_outputs:
-                    total_samples += 1
-                    if row_g.signals[net] != row_o.signals[net]:
-                        corrupted_samples += 1
+                    diff = golden_out[net] ^ observed_out[net]
+                    total_samples += lanes
+                    if diff:
+                        corrupted_samples += bin(diff).count("1")
                         if first_divergence is None or cycle < first_divergence:
                             first_divergence = cycle
+        else:
+            for original_vectors, locked_vectors in zip(original_seqs, locked_seqs):
+                golden = SequentialSimulator(original).run(original_vectors)
+                observed = SequentialSimulator(locked.circuit).run(locked_vectors)
+                for cycle, (row_g, row_o) in enumerate(zip(golden.rows, observed.rows)):
+                    for net in shared_outputs:
+                        total_samples += 1
+                        if row_g.signals[net] != row_o.signals[net]:
+                            corrupted_samples += 1
+                            if first_divergence is None or cycle < first_divergence:
+                                first_divergence = cycle
         first_divergences.append(first_divergence)
 
     fraction = corrupted_samples / total_samples if total_samples else 0.0
@@ -126,6 +173,50 @@ def key_space_size(locked: LockedCircuit) -> int:
 def effective_key_bits(locked: LockedCircuit) -> int:
     """log2 of :func:`key_space_size` — the secret's entropy in bits."""
     return locked.schedule.total_bits
+
+
+def switching_activity_divergence(
+    locked: LockedCircuit,
+    *,
+    trials: int = 4,
+    cycles: int = 64,
+    seed: int = 0,
+) -> Dict[str, float]:
+    """Toggle-activity signature of wrong keys (power-side-channel proxy).
+
+    Simulates the locked circuit under its correct key schedule and under
+    ``trials`` random wrong schedules on the same seeded stimulus, counting
+    per-net toggles with the packed engine, and reports how far the wrong-key
+    switching activity deviates from the correct-key baseline.  A large
+    divergence means a wrong key is detectable from dynamic power alone —
+    the activity-side analogue of :func:`output_corruptibility`.
+    """
+    from repro.engine.equivalence import packed_toggle_counts
+
+    rng = random.Random(seed)
+    circuit = locked.circuit
+    simulator = PackedSimulator(circuit)
+    functional_inputs = [n for n in circuit.inputs if n not in set(locked.key_inputs)]
+    vectors = [
+        {net: rng.randint(0, 1) for net in functional_inputs} for _ in range(cycles)
+    ]
+
+    def total_toggles(schedule: KeySchedule) -> int:
+        keyed = apply_key_to_sequence(vectors, locked.key_inputs, schedule.values)
+        return sum(packed_toggle_counts(circuit, keyed, simulator=simulator).values())
+
+    baseline = total_toggles(locked.schedule)
+    deltas = []
+    for _ in range(trials):
+        wrong = _random_wrong_schedule(locked.schedule, rng)
+        deltas.append(abs(total_toggles(wrong) - baseline))
+    mean_delta = sum(deltas) / trials if trials else 0.0
+    return {
+        "baseline_toggles": float(baseline),
+        "mean_abs_divergence": mean_delta,
+        "max_abs_divergence": float(max(deltas, default=0)),
+        "relative_divergence": mean_delta / baseline if baseline else 0.0,
+    }
 
 
 def structural_overhead_summary(locked: LockedCircuit) -> Dict[str, int]:

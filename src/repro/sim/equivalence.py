@@ -49,6 +49,7 @@ def random_equivalence_check(
     key_assignment: Optional[Mapping[str, int]] = None,
     num_vectors: int = 256,
     seed: int = 0,
+    engine: str = "packed",
 ) -> EquivalenceResult:
     """Compare two circuits combinationally on random vectors.
 
@@ -56,7 +57,24 @@ def random_equivalence_check(
     views (flip-flop Q pins driven as pseudo-inputs, D pins observed), which
     is the same observability model the oracle-guided SAT attack uses.
     ``key_assignment`` fixes the candidate's key inputs.
+
+    ``engine="packed"`` (the default) evaluates all vectors in one
+    bit-parallel pass per circuit via :mod:`repro.engine`; ``engine=
+    "scalar"`` keeps the vector-at-a-time reference loop.  Both draw the
+    same seeded stimulus and report identical results.
     """
+    if engine == "packed":
+        from repro.engine.equivalence import packed_random_equivalence_check
+
+        return packed_random_equivalence_check(
+            original,
+            candidate,
+            key_assignment=key_assignment,
+            num_vectors=num_vectors,
+            seed=seed,
+        )
+    if engine != "scalar":
+        raise ValueError(f"unknown engine {engine!r} (expected 'packed' or 'scalar')")
     rng = random.Random(seed)
     orig_view = original.combinational_view() if original.dffs else original
     cand_view = candidate.combinational_view() if candidate.dffs else candidate
@@ -93,6 +111,7 @@ def sequential_equivalence_check(
     num_sequences: int = 16,
     sequence_length: int = 32,
     seed: int = 0,
+    engine: str = "packed",
 ) -> EquivalenceResult:
     """Compare the cycle-by-cycle primary-output behaviour of two circuits.
 
@@ -101,7 +120,26 @@ def sequential_equivalence_check(
     in both circuits from a seeded random source.  This mirrors the paper's
     validation methodology: under the scheduled keys the locked circuit must
     match the original on every observed cycle.
+
+    ``engine="packed"`` (the default) simulates all sequences as lanes of
+    one bit-parallel run per circuit via :mod:`repro.engine`; ``engine=
+    "scalar"`` keeps the sequence-at-a-time reference loop.  Both draw the
+    same seeded stimulus and report identical results.
     """
+    if engine == "packed":
+        from repro.engine.equivalence import packed_sequential_equivalence_check
+
+        return packed_sequential_equivalence_check(
+            original,
+            locked,
+            key_schedule=key_schedule,
+            key_inputs=key_inputs,
+            num_sequences=num_sequences,
+            sequence_length=sequence_length,
+            seed=seed,
+        )
+    if engine != "scalar":
+        raise ValueError(f"unknown engine {engine!r} (expected 'packed' or 'scalar')")
     rng = random.Random(seed)
     key_inputs = list(key_inputs if key_inputs is not None else locked.key_inputs)
     shared_outputs = [o for o in original.outputs if o in set(locked.outputs)]

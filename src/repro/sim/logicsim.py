@@ -66,10 +66,25 @@ class CombinationalSimulator:
     def __init__(self, circuit: Circuit) -> None:
         self.circuit = circuit
         self._order: List[str] = circuit.topological_order()
+        self._packed = None  # lazily-built repro.engine PackedSimulator
 
     def refresh(self) -> None:
         """Recompute the evaluation order after the circuit was mutated."""
         self._order = self.circuit.topological_order()
+        self._packed = None
+
+    def packed(self):
+        """The engine-backed bit-parallel simulator for this circuit.
+
+        Built lazily (compiling the flat program costs one pass over the
+        gates) and invalidated by :meth:`refresh`.  The batch methods below
+        delegate to it.
+        """
+        if self._packed is None:
+            from repro.engine.packed import PackedSimulator
+
+            self._packed = PackedSimulator(self.circuit)
+        return self._packed
 
     def evaluate(
         self,
@@ -112,19 +127,51 @@ class CombinationalSimulator:
         values = self.evaluate(input_values, state_values)
         return {q: values[ff.d] for q, ff in self.circuit.dffs.items()}
 
+    # ------------------------------------------------------------------ #
+    # batch entry points (delegate to the bit-parallel engine)
+    # ------------------------------------------------------------------ #
+    def evaluate_batch(self, input_vectors, state_vectors=None) -> List[Dict[str, int]]:
+        """Evaluate N vectors in one packed pass; one full value map each.
+
+        ``state_vectors`` may be one mapping (broadcast to every vector) or
+        one mapping per vector; absent state bits default to ``ff.init``,
+        exactly as in :meth:`evaluate`.
+        """
+        return self.packed().evaluate_batch(input_vectors, state_vectors)
+
+    def outputs_batch(self, input_vectors, state_vectors=None) -> List[Dict[str, int]]:
+        """Batched :meth:`outputs`: one primary-output dict per vector."""
+        return self.packed().outputs_batch(input_vectors, state_vectors)
+
+    def next_state_batch(self, input_vectors, state_vectors=None) -> List[Dict[str, int]]:
+        """Batched :meth:`next_state`: one next-state dict per vector."""
+        return self.packed().next_state_batch(input_vectors, state_vectors)
+
 
 def toggle_counts(
     circuit: Circuit,
     input_vectors: Sequence[Mapping[str, int]],
     *,
     initial_state: Optional[Mapping[str, int]] = None,
+    engine: str = "packed",
 ) -> Dict[str, int]:
     """Count output toggles of every net over a sequence of input vectors.
 
     Used by the overhead model to estimate dynamic (switching) power.  The
     circuit is simulated cycle by cycle (flip-flops advance each vector) and
     the number of value changes per net is accumulated.
+
+    ``engine="packed"`` (the default) runs the compiled flat program from
+    :mod:`repro.engine` and counts toggles in bulk over per-net value
+    histories; ``engine="scalar"`` keeps the original dict-based loop as the
+    reference implementation.  Both produce identical counts.
     """
+    if engine == "packed":
+        from repro.engine.equivalence import packed_toggle_counts
+
+        return packed_toggle_counts(circuit, input_vectors, initial_state=initial_state)
+    if engine != "scalar":
+        raise ValueError(f"unknown engine {engine!r} (expected 'packed' or 'scalar')")
     sim = CombinationalSimulator(circuit)
     state = {q: ff.init for q, ff in circuit.dffs.items()}
     if initial_state:
