@@ -15,7 +15,7 @@ import time
 from typing import Dict, Optional, Union
 
 from repro.attacks.results import AttackOutcome, AttackResult
-from repro.attacks.sat_attack import _IncrementalCnf, _as_locked_pair
+from repro.attacks.sat_attack import _IncrementalCnf, _as_locked_pair, _extract_dip
 from repro.engine.batch_oracle import BatchedCombinationalOracle
 from repro.engine.packed import PackedSimulator
 from repro.locking.base import LockedCircuit
@@ -142,8 +142,7 @@ def appsat_attack(
                               reason="no static key satisfies all DIP constraints")
             return classify(candidate, approximate=False)
         iterations += 1
-        model = solver.model()
-        dip = {net: model.get(encoder.varmap.get(net, -1), 0) for net in functional_nets}
+        dip = _extract_dip(encoder, solver.model(), functional_nets)
         response = oracle.query(dip)
         add_dip_constraints(dip, response)
 

@@ -27,8 +27,17 @@ def bmc_attack(
     max_iterations: int = 128,
     time_limit: float = 180.0,
     conflict_limit: Optional[int] = 200_000,
+    dis_batch: int = 8,
+    key_batch: int = 8,
+    engine: str = "packed",
 ) -> AttackResult:
-    """Run the non-incremental unrolling attack (NEOS ``bbo`` equivalent)."""
+    """Run the non-incremental unrolling attack (NEOS ``bbo`` equivalent).
+
+    ``dis_batch`` DISes are harvested per solver rebuild and answered by one
+    lane-parallel oracle pass — for this mode that also amortizes the
+    rebuild, its dominant per-query cost.  ``engine="scalar"`` restores the
+    original one-DIS-per-rebuild reference path.
+    """
     return sequential_oracle_guided_attack(
         locked,
         oracle_circuit,
@@ -40,4 +49,7 @@ def bmc_attack(
         max_iterations=max_iterations,
         time_limit=time_limit,
         conflict_limit=conflict_limit,
+        dis_batch=dis_batch,
+        key_batch=key_batch,
+        engine=engine,
     )

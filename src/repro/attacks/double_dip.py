@@ -14,9 +14,9 @@ from __future__ import annotations
 import time
 from typing import Dict, Optional, Union
 
-from repro.attacks.oracle import CombinationalOracle
 from repro.attacks.results import AttackOutcome, AttackResult
-from repro.attacks.sat_attack import _IncrementalCnf, _as_locked_pair
+from repro.attacks.sat_attack import _IncrementalCnf, _as_locked_pair, _extract_dip
+from repro.engine.batch_oracle import BatchedCombinationalOracle
 from repro.locking.base import LockedCircuit
 from repro.netlist.circuit import Circuit
 from repro.sim.equivalence import random_equivalence_check
@@ -40,10 +40,16 @@ def double_dip_attack(
                             details={"reason": "circuit has no key inputs"})
 
     locked_view = locked_circuit.combinational_view() if locked_circuit.dffs else locked_circuit
-    oracle = CombinationalOracle(original)
+    oracle = BatchedCombinationalOracle(original)
     key_nets = list(locked_view.key_inputs)
     functional_nets = [n for n in locked_view.inputs if n not in set(key_nets)]
     shared_outputs = [o for o in locked_view.outputs if o in set(oracle.output_nets)]
+    if not shared_outputs:
+        # Without shared outputs the inequality below would be a degenerate
+        # always-false miter and the attack would "converge" instantly on a
+        # meaningless key; report the broken setup instead.
+        return AttackResult(attack="double-dip", outcome=AttackOutcome.FAIL,
+                            details={"reason": "locked circuit and oracle share no outputs"})
 
     inc = _IncrementalCnf()
     encoder, solver = inc.encoder, inc.solver
@@ -95,8 +101,7 @@ def double_dip_attack(
             if status is False:
                 break
             found_any = True
-            model = solver.model()
-            dip = {net: model.get(encoder.varmap.get(net, -1), 0) for net in functional_nets}
+            dip = _extract_dip(encoder, solver.model(), functional_nets)
             add_constraints(dip, oracle.query(dip))
         if not found_any:
             # Converged: extract and classify a consistent key (if any).

@@ -28,8 +28,17 @@ def int_attack(
     max_iterations: int = 128,
     time_limit: float = 180.0,
     conflict_limit: Optional[int] = 200_000,
+    dis_batch: int = 8,
+    key_batch: int = 8,
+    engine: str = "packed",
 ) -> AttackResult:
-    """Run the incremental unrolling attack (NEOS ``int`` equivalent)."""
+    """Run the incremental unrolling attack (NEOS ``int`` equivalent).
+
+    With ``engine="packed"`` the solver stays warm across the whole attack:
+    ``dis_batch`` DISes are harvested per round, answered lane-parallel, and
+    depth increases extend the unrolling in place (learned clauses survive).
+    ``engine="scalar"`` restores the one-DIS-at-a-time reference path.
+    """
     return sequential_oracle_guided_attack(
         locked,
         oracle_circuit,
@@ -41,6 +50,9 @@ def int_attack(
         max_iterations=max_iterations,
         time_limit=time_limit,
         conflict_limit=conflict_limit,
+        dis_batch=dis_batch,
+        key_batch=key_batch,
+        engine=engine,
     )
 
 
@@ -53,8 +65,15 @@ def kc2_attack(
     max_iterations: int = 128,
     time_limit: float = 180.0,
     conflict_limit: Optional[int] = 200_000,
+    dis_batch: int = 8,
+    key_batch: int = 8,
+    engine: str = "packed",
 ) -> AttackResult:
-    """Run the key-condition-crunching attack (NEOS ``kc2`` equivalent)."""
+    """Run the key-condition-crunching attack (NEOS ``kc2`` equivalent).
+
+    Crunching runs once per harvested batch of ``dis_batch`` DISes rather
+    than per DIS; see :func:`int_attack` for the engine switches.
+    """
     return sequential_oracle_guided_attack(
         locked,
         oracle_circuit,
@@ -66,4 +85,7 @@ def kc2_attack(
         max_iterations=max_iterations,
         time_limit=time_limit,
         conflict_limit=conflict_limit,
+        dis_batch=dis_batch,
+        key_batch=key_batch,
+        engine=engine,
     )

@@ -17,6 +17,13 @@ synthesis (CEGIS) loop on top of our SAT layer:
    final simulation check); otherwise the counterexample's reference response
    is added to the constraint set and the loop repeats.
 
+Both sides of the loop are incremental: the verification unrolling is
+encoded once, with the candidate key applied through solver *assumptions*
+rather than baked-in unit clauses, so learned clauses survive across
+candidates; and each verification round harvests up to ``cex_batch``
+distinct counterexamples behind activation-gated blocking clauses, answering
+them with one lane-parallel pass of the batched sequential oracle.
+
 Against Cute-Lock the synthesis step eventually runs out of candidates (no
 static key makes the designs equivalent), which is reported as ``CNS`` /
 ``FAIL`` — the paper's Table IV outcome for RANE.
@@ -27,14 +34,17 @@ from __future__ import annotations
 import time
 from typing import Dict, List, Optional, Tuple, Union
 
-from repro.attacks.oracle import SequentialOracle
 from repro.attacks.results import AttackOutcome, AttackResult
-from repro.attacks.sequential_core import _as_locked_pair
+from repro.attacks.sat_attack import _IncrementalCnf
+from repro.attacks.sequential_core import (
+    _as_locked_pair,
+    _block_input_sequence,
+    _extract_input_sequence,
+)
 from repro.attacks.unroll import encode_unrolled
+from repro.engine.batch_oracle import BatchedSequentialOracle
 from repro.locking.base import LockedCircuit, pack_key_bits
 from repro.netlist.circuit import Circuit
-from repro.sat.solver import Solver
-from repro.sat.tseitin import TseitinEncoder
 from repro.sim.equivalence import sequential_equivalence_check
 
 
@@ -48,17 +58,20 @@ def rane_attack(
     conflict_limit: Optional[int] = 200_000,
     verify_sequences: int = 8,
     verify_length: int = 48,
+    cex_batch: int = 4,
 ) -> AttackResult:
     """Run the RANE-style CEGIS unlocking attack."""
     locked_circuit, reference = _as_locked_pair(locked, oracle_circuit)
     start = time.monotonic()
     deadline = start + time_limit
+    if cex_batch < 1:
+        raise ValueError("cex_batch must be at least 1")
 
     if not locked_circuit.key_inputs:
         return AttackResult(attack="rane", outcome=AttackOutcome.FAIL,
                             details={"reason": "circuit has no key inputs"})
 
-    oracle = SequentialOracle(reference)
+    oracle = BatchedSequentialOracle(reference)
     key_nets = list(locked_circuit.key_inputs)
     functional_inputs = [n for n in locked_circuit.inputs if n not in set(key_nets)]
     shared_outputs = [o for o in locked_circuit.outputs if o in set(reference.outputs)]
@@ -68,17 +81,9 @@ def rane_attack(
 
     # --- synthesis side: one constraint copy of the locked circuit per
     # counterexample, all sharing the KA@ key variables.
-    synth_encoder = TseitinEncoder()
-    synth_solver = Solver()
-    synth_synced = 0
+    synth = _IncrementalCnf()
+    synth_encoder, synth_solver = synth.encoder, synth.solver
     counterexamples: List[Tuple[List[Dict[str, int]], List[Dict[str, int]]]] = []
-
-    def synth_sync() -> None:
-        nonlocal synth_synced
-        clauses = synth_encoder.cnf.clauses
-        if synth_synced < len(clauses):
-            synth_solver.add_clauses(clauses[synth_synced:])
-            synth_synced = len(clauses)
 
     def add_counterexample(dis: List[Dict[str, int]], responses: List[Dict[str, int]]) -> None:
         tag = len(counterexamples)
@@ -97,6 +102,42 @@ def rane_attack(
     for net in key_nets:
         synth_encoder.var(f"KA@{net}")
 
+    # --- verification side, built once: the candidate key enters through
+    # assumptions on the VK@ variables, never through unit clauses, so the
+    # same solver (and its learned clauses) serves every candidate.
+    verify = _IncrementalCnf()
+    verify_encoder, verify_solver = verify.encoder, verify.solver
+    locked_copy = encode_unrolled(
+        verify_encoder, locked_circuit, depth, prefix="L#",
+        shared_input_prefix="VX", key_prefix="VK@",
+    )
+    reference_copy = encode_unrolled(
+        verify_encoder, reference, depth, prefix="R#",
+        shared_input_prefix="VX", key_prefix="VRK@",
+    )
+    nets_locked: List[str] = []
+    nets_reference: List[str] = []
+    for frame in range(depth):
+        for out in shared_outputs:
+            nets_locked.append(locked_copy.frame_outputs[frame][out])
+            nets_reference.append(reference_copy.frame_outputs[frame][out])
+    diff_net = verify_encoder.encode_inequality(nets_locked, nets_reference)
+    blocking_clauses = 0
+
+    def extract_dis(model: Dict[int, int]) -> List[Dict[str, int]]:
+        return _extract_input_sequence(
+            verify_encoder, model, locked_copy.frame_inputs, functional_inputs, depth
+        )
+
+    def block_dis(dis: List[Dict[str, int]]) -> int:
+        """Activation-gated clause forbidding ``dis``; scoped to one round."""
+        nonlocal blocking_clauses
+        blocking_clauses += 1
+        return _block_input_sequence(
+            verify_encoder, locked_copy.frame_inputs, functional_inputs, dis,
+            f"__cex_block_{blocking_clauses}",
+        )
+
     iterations = 0
 
     def finish(outcome: AttackOutcome, key: Optional[Dict[str, int]] = None, **details) -> AttackResult:
@@ -112,7 +153,7 @@ def rane_attack(
         iterations += 1
 
         # Synthesis: propose a key consistent with all counterexamples.
-        synth_sync()
+        synth.sync()
         status = synth_solver.solve(conflict_limit=conflict_limit,
                                     time_limit=max(deadline - time.monotonic(), 0.001))
         if status is None:
@@ -125,35 +166,37 @@ def rane_attack(
             net: model.get(synth_encoder.varmap.get(f"KA@{net}", -1), 0) for net in key_nets
         }
 
-        # Verification: bounded equivalence of locked(candidate) vs reference.
-        verify_encoder = TseitinEncoder()
-        verify_solver = Solver()
-        locked_copy = encode_unrolled(
-            verify_encoder, locked_circuit, depth, prefix="L#",
-            shared_input_prefix="VX", key_prefix="VK@",
-        )
-        reference_copy = encode_unrolled(
-            verify_encoder, reference, depth, prefix="R#",
-            shared_input_prefix="VX", key_prefix="VRK@",
-        )
-        for net in key_nets:
-            verify_encoder.add_value(f"VK@{net}", candidate[net])
-        nets_locked: List[str] = []
-        nets_reference: List[str] = []
-        for frame in range(depth):
-            for out in shared_outputs:
-                nets_locked.append(locked_copy.frame_outputs[frame][out])
-                nets_reference.append(reference_copy.frame_outputs[frame][out])
-        diff_net = verify_encoder.encode_inequality(nets_locked, nets_reference)
-        verify_solver.add_clauses(verify_encoder.cnf.clauses)
-        status = verify_solver.solve(
-            assumptions=[verify_encoder.literal(diff_net, True)],
-            conflict_limit=conflict_limit,
-            time_limit=max(deadline - time.monotonic(), 0.001),
-        )
-        if status is None:
-            return finish(AttackOutcome.TIMEOUT, reason="solver limit during verification")
-        if status is False:
+        # Verification: bounded equivalence of locked(candidate) vs reference,
+        # harvesting up to cex_batch distinguishing sequences in one round.
+        key_assumptions = [
+            verify_encoder.literal(f"VK@{net}", bool(candidate[net])) for net in key_nets
+        ]
+        harvested: List[List[Dict[str, int]]] = []
+        block_assumptions: List[int] = []
+        equivalent = False
+        solver_limited = False
+        while len(harvested) < cex_batch:
+            verify.sync()
+            status = verify_solver.solve(
+                assumptions=[verify_encoder.literal(diff_net, True)]
+                + key_assumptions + block_assumptions,
+                conflict_limit=conflict_limit,
+                time_limit=max(deadline - time.monotonic(), 0.001),
+            )
+            if status is None:
+                solver_limited = True
+                break
+            if status is False:
+                # Only an unblocked UNSAT proves bounded equivalence.
+                equivalent = not block_assumptions
+                break
+            dis = extract_dis(verify_solver.model())
+            harvested.append(dis)
+            if len(harvested) >= cex_batch or time.monotonic() > deadline:
+                break
+            block_assumptions.append(block_dis(dis))
+
+        if equivalent:
             # Bounded-equivalent: accept after a final simulation check.
             packed = pack_key_bits(candidate, key_nets)
             verdict = sequential_equivalence_check(
@@ -162,19 +205,14 @@ def rane_attack(
             )
             outcome = AttackOutcome.CORRECT if verdict.equivalent else AttackOutcome.WRONG_KEY
             return finish(outcome, key=candidate)
+        if solver_limited and not harvested:
+            return finish(AttackOutcome.TIMEOUT, reason="solver limit during verification")
 
-        # Counterexample: extract the distinguishing input sequence, get the
-        # reference response and add it to the synthesis constraints.
-        model = verify_solver.model()
-        dis: List[Dict[str, int]] = []
-        for frame in range(depth):
-            vector = {}
-            for net in functional_inputs:
-                name = locked_copy.frame_inputs[frame][net]
-                vector[net] = model.get(verify_encoder.varmap.get(name, -1), 0)
-            dis.append(vector)
-        responses = oracle.query(dis)
-        responses = [{out: resp[out] for out in shared_outputs} for resp in responses]
-        add_counterexample(dis, responses)
+        # Counterexamples: one lane-parallel oracle pass answers the whole
+        # round; every response refutes the current candidate in synthesis.
+        responses_list = oracle.query_batch(harvested)
+        for dis, responses in zip(harvested, responses_list):
+            responses = [{out: resp[out] for out in shared_outputs} for resp in responses]
+            add_counterexample(dis, responses)
 
     return finish(AttackOutcome.TIMEOUT, reason="iteration limit reached")

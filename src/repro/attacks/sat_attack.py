@@ -22,7 +22,7 @@ from typing import Dict, List, Mapping, Optional, Tuple, Union
 from repro.attacks.results import AttackOutcome, AttackResult
 from repro.engine.batch_oracle import BatchedCombinationalOracle
 from repro.locking.base import LockedCircuit
-from repro.netlist.circuit import Circuit
+from repro.netlist.circuit import Circuit, CircuitError
 from repro.sat.solver import Solver
 from repro.sat.tseitin import TseitinEncoder
 from repro.sim.equivalence import random_equivalence_check
@@ -52,6 +52,27 @@ class _IncrementalCnf:
         if self._synced < len(clauses):
             self.solver.add_clauses(clauses[self._synced:])
             self._synced = len(clauses)
+
+
+def _extract_dip(
+    encoder: TseitinEncoder, model: Mapping[int, int], functional_nets: List[str]
+) -> Dict[str, int]:
+    """Read a DIP out of a miter model, refusing to invent missing bits.
+
+    Every functional input is touched by ``encoder.encode()``; a missing
+    variable means the miter is malformed, and quietly defaulting the bit to
+    0 would corrupt the DIP constraints built from it.
+    """
+    dip: Dict[str, int] = {}
+    for net in functional_nets:
+        var = encoder.varmap.get(net)
+        if var is None:
+            raise CircuitError(
+                f"functional input {net!r} has no CNF variable; "
+                "cannot extract a trustworthy DIP from the miter"
+            )
+        dip[net] = model.get(var, 0)
+    return dip
 
 
 def sat_attack(
@@ -108,13 +129,11 @@ def sat_attack(
     inc = _IncrementalCnf()
     encoder, solver = inc.encoder, inc.solver
 
-    def copy_map(prefix: str) -> Dict[str, str]:
-        """Share functional inputs between copies; privatise everything else."""
-        return {net: net for net in functional_nets}
-
-    # Two key copies of the locked circuit sharing functional inputs.
-    encoder.encode(locked_view, prefix="A@", shared_nets=copy_map("A@"))
-    encoder.encode(locked_view, prefix="B@", shared_nets=copy_map("B@"))
+    # Two key copies of the locked circuit sharing functional inputs
+    # (everything else is privatised by the per-copy prefixes).
+    shared_functional = {net: net for net in functional_nets}
+    encoder.encode(locked_view, prefix="A@", shared_nets=shared_functional)
+    encoder.encode(locked_view, prefix="B@", shared_nets=shared_functional)
     keys_a = [f"A@{net}" for net in key_nets]
     keys_b = [f"B@{net}" for net in key_nets]
     diff_net = encoder.encode_inequality(
@@ -154,10 +173,7 @@ def sat_attack(
         if status is False:
             break  # no more DIPs
         iterations += 1
-        model = solver.model()
-        dip = {
-            net: model.get(encoder.varmap.get(net, -1), 0) for net in functional_nets
-        }
+        dip = _extract_dip(encoder, solver.model(), functional_nets)
         response = oracle.query(dip)
 
         # Constrain both key copies to reproduce the oracle response on the DIP.

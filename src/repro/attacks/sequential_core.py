@@ -16,6 +16,33 @@ The three NEOS modes reproduced in Tables III/IV differ in how the solver is
 managed (fresh vs incremental) and whether implied key bits are fixed after
 every round ("key-condition crunching"); those switches are exposed as
 parameters of :func:`sequential_oracle_guided_attack`.
+
+The hot loop rides the packed engine (``engine="packed"``, the default):
+
+* **Batched DIS harvesting** — instead of one solver call / one oracle query
+  per refinement step, up to ``dis_batch`` distinct DISes are enumerated per
+  round with activation-gated blocking clauses, and all of them are answered
+  by one lane-parallel :meth:`~repro.engine.batch_oracle.\
+BatchedSequentialOracle.query_batch` pass.  For the non-incremental "BBO"
+  mode this also amortizes the per-query solver rebuild over the whole round.
+* **Incremental depth growth** — when the depth doubles, the existing
+  unrolling is extended in place via :func:`~repro.attacks.unroll.\
+extend_unrolled` (same encoder, same variables, observations stay encoded)
+  instead of rebuilding the CNF and replaying every observation.
+* **Packed candidate prefiltering** — at key extraction, up to ``key_batch``
+  consistent candidate keys are enumerated and simulated as lanes against
+  the reference netlist in one packed pass (:func:`~repro.engine.\
+equivalence.packed_candidate_key_filter`), mirroring FALL's combinational
+  candidate prefilter; refuted candidates never reach the per-key
+  verification.
+
+``engine="scalar"`` preserves the original one-DIS-at-a-time path (scalar
+oracle, rebuild-and-replay on every depth increase) as the bit-exact
+reference.  Both engines prove the same facts, so the semantic verdicts
+(CORRECT / CNS) agree whenever both run to convergence; under a *tight*
+``max_iterations`` the batched path may spend part of the budget on
+speculatively harvested DISes the scalar path never needed, so budget-bound
+outcomes (TIMEOUT) can differ near the cap.
 """
 
 from __future__ import annotations
@@ -25,7 +52,9 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.attacks.oracle import SequentialOracle
 from repro.attacks.results import AttackOutcome, AttackResult
-from repro.attacks.unroll import encode_unrolled
+from repro.attacks.unroll import encode_unrolled, extend_unrolled
+from repro.engine.batch_oracle import BatchedSequentialOracle
+from repro.engine.equivalence import packed_candidate_key_filter
 from repro.locking.base import LockedCircuit, pack_key_bits
 from repro.netlist.circuit import Circuit
 from repro.sat.solver import Solver
@@ -41,6 +70,48 @@ def _as_locked_pair(
     if oracle_circuit is None:
         raise ValueError("an oracle circuit is required when passing a bare Circuit")
     return locked, oracle_circuit
+
+
+def _extract_input_sequence(
+    encoder: TseitinEncoder,
+    model: Dict[int, int],
+    frame_inputs: Sequence[Dict[str, str]],
+    functional_inputs: Sequence[str],
+    num_frames: int,
+) -> List[Dict[str, int]]:
+    """Read an unrolled copy's shared input sequence out of a SAT model."""
+    sequence: List[Dict[str, int]] = []
+    for frame in range(num_frames):
+        frame_map = frame_inputs[frame]
+        sequence.append({
+            net: model.get(encoder.varmap.get(frame_map[net], -1), 0)
+            for net in functional_inputs
+        })
+    return sequence
+
+
+def _block_input_sequence(
+    encoder: TseitinEncoder,
+    frame_inputs: Sequence[Dict[str, str]],
+    functional_inputs: Sequence[str],
+    sequence: Sequence[Dict[str, int]],
+    act_name: str,
+) -> int:
+    """Add an activation-gated clause forbidding ``sequence`` as the input.
+
+    Returns the activation literal: the clause only bites while that literal
+    is assumed, so the block is scoped to the harvesting round that created
+    it (afterwards an unassumed activation variable keeps the clause
+    satisfiable — in particular input-free solves are unaffected).
+    """
+    act_literal = encoder.literal(act_name, True)
+    clause = [-act_literal]
+    for frame, vector in enumerate(sequence):
+        frame_map = frame_inputs[frame]
+        for net in functional_inputs:
+            clause.append(encoder.literal(frame_map[net], not bool(vector[net])))
+    encoder.cnf.add_clause(clause)
+    return act_literal
 
 
 class _DepthAttackState:
@@ -61,14 +132,31 @@ class _DepthAttackState:
             self.encoder, locked, depth, prefix="B#",
             shared_input_prefix="X", key_prefix="KB@",
         )
+        self.diff_net = self._encode_diff()
+        self.constraint_copies = 0
+        self.blocking_clauses = 0
+
+    def _encode_diff(self) -> str:
         nets_a: List[str] = []
         nets_b: List[str] = []
-        for frame in range(depth):
+        for frame in range(self.depth):
             for out in self.shared_outputs:
                 nets_a.append(self.copy_a.frame_outputs[frame][out])
                 nets_b.append(self.copy_b.frame_outputs[frame][out])
-        self.diff_net = self.encoder.encode_inequality(nets_a, nets_b)
-        self.constraint_copies = 0
+        return self.encoder.encode_inequality(nets_a, nets_b)
+
+    def extend(self, depth: int) -> None:
+        """Grow both unrolled copies to ``depth`` frames in place.
+
+        The encoder keeps every variable of the shallower unrolling, so the
+        already-synced clauses (and, in incremental mode, the solver's
+        learned clauses) stay valid; only the new frames and a fresh
+        inequality net over all frames are appended.
+        """
+        extend_unrolled(self.encoder, self.locked, self.copy_a, depth)
+        extend_unrolled(self.encoder, self.locked, self.copy_b, depth)
+        self.depth = depth
+        self.diff_net = self._encode_diff()
 
     def sync(self) -> None:
         clauses = self.encoder.cnf.clauses
@@ -90,17 +178,33 @@ class _DepthAttackState:
         """Constrain both key copies to reproduce the oracle's response on ``dis``."""
         self.constraint_copies += 1
         tag = self.constraint_copies
+        frames = min(len(dis), len(responses), self.depth)
         for side, key_prefix in (("A", "KA@"), ("B", "KB@")):
             copy = encode_unrolled(
-                self.encoder, self.locked, self.depth,
+                self.encoder, self.locked, frames,
                 prefix=f"o{side}{tag}#", shared_input_prefix=f"o{side}{tag}X",
                 key_prefix=key_prefix,
             )
-            for frame, (vector, response) in enumerate(zip(dis, responses)):
+            for frame in range(frames):
+                vector, response = dis[frame], responses[frame]
                 for net in functional_inputs:
                     self.encoder.add_value(copy.frame_inputs[frame][net], vector[net])
                 for out in self.shared_outputs:
                     self.encoder.add_value(copy.frame_outputs[frame][out], response[out])
+
+    def block_sequence(
+        self, functional_inputs: Sequence[str], dis: List[Dict[str, int]]
+    ) -> int:
+        """Forbid ``dis`` as the shared input for the current harvest round.
+
+        Once the round's observation constraints land they subsume the
+        block, so its activation literal is simply never assumed again.
+        """
+        self.blocking_clauses += 1
+        return _block_input_sequence(
+            self.encoder, self.copy_a.frame_inputs, functional_inputs, dis,
+            f"__dis_block_{self.blocking_clauses}",
+        )
 
 
 def sequential_oracle_guided_attack(
@@ -117,8 +221,27 @@ def sequential_oracle_guided_attack(
     conflict_limit: Optional[int] = 200_000,
     verify_sequences: int = 8,
     verify_length: int = 48,
+    dis_batch: int = 8,
+    key_batch: int = 8,
+    engine: str = "packed",
 ) -> AttackResult:
-    """Run the shared sequential attack skeleton (see module docstring)."""
+    """Run the shared sequential attack skeleton (see module docstring).
+
+    ``dis_batch`` bounds how many DISes one solver round harvests before a
+    single batched oracle query answers them all; ``key_batch`` bounds how
+    many candidate keys are enumerated for the packed prefilter at key
+    extraction.  ``engine="scalar"`` forces both to 1 and keeps the original
+    scalar-oracle, rebuild-per-depth reference path.
+    """
+    if engine not in ("packed", "scalar"):
+        raise ValueError(f"unknown engine {engine!r} (expected 'packed' or 'scalar')")
+    if dis_batch < 1 or key_batch < 1:
+        raise ValueError("dis_batch and key_batch must be at least 1")
+    batched = engine == "packed"
+    if not batched:
+        dis_batch = 1
+        key_batch = 1
+
     locked_circuit, original = _as_locked_pair(locked, oracle_circuit)
     start = time.monotonic()
     deadline = start + time_limit
@@ -127,7 +250,7 @@ def sequential_oracle_guided_attack(
         return AttackResult(attack=attack_name, outcome=AttackOutcome.FAIL,
                             details={"reason": "circuit has no key inputs"})
 
-    oracle = SequentialOracle(original)
+    oracle = BatchedSequentialOracle(original) if batched else SequentialOracle(original)
     key_nets = list(locked_circuit.key_inputs)
     functional_inputs = [n for n in locked_circuit.inputs if n not in set(key_nets)]
     shared_outputs = [o for o in locked_circuit.outputs if o in set(oracle.output_nets)]
@@ -138,12 +261,14 @@ def sequential_oracle_guided_attack(
     total_iterations = 0
     last_candidate: Optional[Dict[str, int]] = None
     observations: List[Tuple[List[Dict[str, int]], List[Dict[str, int]]]] = []
+    prefiltered_keys = 0
 
     def finish(outcome: AttackOutcome, key: Optional[Dict[str, int]] = None, **details) -> AttackResult:
         return AttackResult(
             attack=attack_name, outcome=outcome, key=key, iterations=total_iterations,
             runtime_seconds=time.monotonic() - start,
-            details={"oracle_queries": oracle.queries, **details},
+            details={"oracle_queries": oracle.queries, "engine": engine,
+                     "prefiltered_keys": prefiltered_keys, **details},
         )
 
     def verify(candidate: Dict[str, int]) -> bool:
@@ -155,51 +280,89 @@ def sequential_oracle_guided_attack(
         )
         return verdict.equivalent
 
-    depth = initial_depth
-    while depth <= max_depth:
-        state = _DepthAttackState(locked_circuit, shared_outputs, depth)
-        # Replay observations gathered at smaller depths (truncated to fit).
-        for dis, responses in observations:
-            state.add_observation(functional_inputs, dis[:depth], responses[:depth])
+    def extract_dis(state: _DepthAttackState, model: Dict[int, int]) -> List[Dict[str, int]]:
+        return _extract_input_sequence(
+            state.encoder, model, state.copy_a.frame_inputs, functional_inputs,
+            state.depth,
+        )
 
+    depth = initial_depth
+    state = _DepthAttackState(locked_circuit, shared_outputs, depth)
+    while depth <= max_depth:
+        # Adaptive harvesting: start each depth with single-DIS rounds and
+        # double the quota only while rounds keep filling it, so easy
+        # instances (a handful of DISes to convergence) never over-harvest
+        # sequences the first observation would have ruled out, while hard
+        # instances quickly ramp up to full dis_batch-wide rounds.
+        round_quota = 1
         while True:
             if time.monotonic() > deadline:
                 return finish(AttackOutcome.TIMEOUT, reason="time limit", depth=depth)
             if total_iterations >= max_iterations:
                 return finish(AttackOutcome.TIMEOUT, reason="iteration limit", depth=depth)
             if not incremental:
+                # Rebuilt once per harvesting round: the rebuild cost is
+                # amortized over up to dis_batch DIS queries.
                 state.fresh_solver()
             state.sync()
-            status = state.solver.solve(
-                assumptions=[state.encoder.literal(state.diff_net, True)],
-                conflict_limit=conflict_limit,
-                time_limit=max(deadline - time.monotonic(), 0.001),
-            )
-            if status is None:
+
+            # --- harvest up to dis_batch distinct DISes in this round.
+            harvested: List[List[Dict[str, int]]] = []
+            block_assumptions: List[int] = []
+            converged = False
+            solver_limited = False
+            while True:
+                status = state.solver.solve(
+                    assumptions=[state.encoder.literal(state.diff_net, True)]
+                    + block_assumptions,
+                    conflict_limit=conflict_limit,
+                    time_limit=max(deadline - time.monotonic(), 0.001),
+                )
+                if status is None:
+                    solver_limited = True
+                    break
+                if status is False:
+                    # Only an unblocked UNSAT proves there is no DIS left.
+                    converged = not block_assumptions
+                    break
+                total_iterations += 1
+                dis = extract_dis(state, state.solver.model())
+                harvested.append(dis)
+                if (len(harvested) >= round_quota
+                        or total_iterations >= max_iterations
+                        or time.monotonic() > deadline):
+                    break
+                block_assumptions.append(
+                    state.block_sequence(functional_inputs, dis)
+                )
+                state.sync()
+
+            if len(harvested) >= round_quota:
+                round_quota = min(round_quota * 2, dis_batch)
+            if harvested:
+                if batched:
+                    responses_list = oracle.query_batch(harvested)
+                else:
+                    responses_list = [oracle.query(dis) for dis in harvested]
+                for dis, responses in zip(harvested, responses_list):
+                    responses = [
+                        {out: resp[out] for out in shared_outputs} for resp in responses
+                    ]
+                    if not batched:
+                        # Only the scalar rebuild-per-depth path ever replays
+                        # past observations; the batched path keeps them
+                        # encoded across extend() and needs no copy.
+                        observations.append((dis, responses))
+                    state.add_observation(functional_inputs, dis, responses)
+                if crunch_keys:
+                    _crunch_key_conditions(state, key_nets, conflict_limit, deadline)
+            elif solver_limited:
                 return finish(AttackOutcome.TIMEOUT, reason="solver limit during DIS search",
                               depth=depth)
-            if status is False:
+            if converged:
                 break
-            total_iterations += 1
-            model = state.solver.model()
-            dis: List[Dict[str, int]] = []
-            for frame in range(depth):
-                vector = {}
-                for net in functional_inputs:
-                    name = state.copy_a.frame_inputs[frame][net]
-                    vector[net] = model.get(state.encoder.varmap.get(name, -1), 0)
-                dis.append(vector)
-            responses = oracle.query(dis)
-            responses = [
-                {out: resp[out] for out in shared_outputs} for resp in responses
-            ]
-            observations.append((dis, responses))
-            state.add_observation(functional_inputs, dis, responses)
 
-            if crunch_keys:
-                _crunch_key_conditions(state, key_nets, conflict_limit, deadline)
-
-        # No DIS left at this depth: extract a consistent static key.
+        # No DIS left at this depth: extract consistent static key candidates.
         state.sync()
         status = state.solver.solve(
             conflict_limit=conflict_limit,
@@ -212,14 +375,64 @@ def sequential_oracle_guided_attack(
             return finish(AttackOutcome.CNS,
                           reason="no static key is consistent with the oracle",
                           depth=depth)
-        model = state.solver.model()
-        candidate = {
-            net: model.get(state.encoder.varmap.get(f"KA@{net}", -1), 0) for net in key_nets
-        }
-        last_candidate = candidate
-        if verify(candidate):
-            return finish(AttackOutcome.CORRECT, key=candidate, depth=depth)
+
+        def extract_key(model: Dict[int, int]) -> Dict[str, int]:
+            return {
+                net: model.get(state.encoder.varmap.get(f"KA@{net}", -1), 0)
+                for net in key_nets
+            }
+
+        candidates = [extract_key(state.solver.model())]
+        # Enumerate further consistent keys for the packed prefilter, again
+        # behind activation literals so the blocks die with this round.
+        key_block_assumptions: List[int] = []
+        while len(candidates) < key_batch and time.monotonic() < deadline:
+            previous = candidates[-1]
+            state.blocking_clauses += 1
+            act = f"__key_block_{state.blocking_clauses}"
+            act_literal = state.encoder.literal(act, True)
+            state.encoder.cnf.add_clause(
+                [-act_literal]
+                + [state.encoder.literal(f"KA@{net}", not bool(previous[net]))
+                   for net in key_nets]
+            )
+            key_block_assumptions.append(act_literal)
+            state.sync()
+            status = state.solver.solve(
+                assumptions=key_block_assumptions,
+                conflict_limit=conflict_limit,
+                time_limit=max(deadline - time.monotonic(), 0.001),
+            )
+            if status is not True:
+                break
+            candidate = extract_key(state.solver.model())
+            if candidate in candidates:
+                break
+            candidates.append(candidate)
+
+        last_candidate = candidates[0]
+        if batched and len(candidates) > 1:
+            survivors = packed_candidate_key_filter(
+                original, locked_circuit, candidates, key_nets,
+                num_sequences=verify_sequences, sequence_length=verify_length,
+            )
+            prefiltered_keys += sum(1 for alive in survivors if not alive)
+            candidates = [c for c, alive in zip(candidates, survivors) if alive]
+        winner = next((c for c in candidates if verify(c)), None)
+        if winner is not None:
+            return finish(AttackOutcome.CORRECT, key=winner, depth=depth)
+
         depth *= 2
+        if depth > max_depth:
+            break
+        if batched:
+            state.extend(depth)
+        else:
+            # Scalar reference path: rebuild at the new depth and replay
+            # the observations gathered at smaller depths.
+            state = _DepthAttackState(locked_circuit, shared_outputs, depth)
+            for dis, responses in observations:
+                state.add_observation(functional_inputs, dis[:depth], responses[:depth])
 
     return finish(AttackOutcome.WRONG_KEY, key=last_candidate,
                   reason="maximum unroll depth reached without a verified key",
@@ -237,14 +450,24 @@ def _crunch_key_conditions(
     state.sync()
     for prefix in ("KA@", "KB@"):
         for net in key_nets:
-            if time.monotonic() > deadline:
+            # Each probe is cheap but there are 2x|key| of them: clamp every
+            # probe (recomputed per solve, the first may eat the budget) to
+            # the attack's remaining wall-clock so crunching cannot overshoot
+            # the deadline.
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
                 return
             literal = state.encoder.literal(f"{prefix}{net}", True)
             can_be_true = state.solver.solve(
-                assumptions=[literal], conflict_limit=conflict_limit, time_limit=0.5
+                assumptions=[literal], conflict_limit=conflict_limit,
+                time_limit=min(0.5, remaining),
             )
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return
             can_be_false = state.solver.solve(
-                assumptions=[-literal], conflict_limit=conflict_limit, time_limit=0.5
+                assumptions=[-literal], conflict_limit=conflict_limit,
+                time_limit=min(0.5, remaining),
             )
             if can_be_true is False and can_be_false is True:
                 state.encoder.cnf.add_clause([-literal])

@@ -8,6 +8,13 @@ wiring each frame's captured next state to the following frame's present
 state, fixing frame 0 to the reset state, and — crucially for the attacks'
 threat model — tying every frame's key inputs to a single set of *static* key
 variables.
+
+Unrollings are *extensible*: :func:`extend_unrolled` appends frames to an
+existing :class:`UnrolledCircuit` in place, reusing the same encoder (and
+therefore the same CNF variables for every already-encoded frame).  The
+sequential attacks use this as an unroll cache when the search depth doubles,
+instead of re-encoding the whole unrolling — and, with an incremental solver,
+every learned clause from the shallower depth stays valid.
 """
 
 from __future__ import annotations
@@ -25,21 +32,74 @@ class UnrolledCircuit:
 
     All names refer to entries of the shared encoder's variable map.
     ``frame_inputs[t]`` maps the original input net to its frame-``t`` name,
-    and similarly for outputs and state.
+    and similarly for outputs and state.  ``next_state_names`` maps each
+    flip-flop Q to the net holding its captured next state after the last
+    encoded frame — the seam :func:`extend_unrolled` stitches new frames to.
     """
 
     prefix: str
     num_frames: int
+    shared_input_prefix: Optional[str] = None
     key_nets: Dict[str, str] = field(default_factory=dict)
     frame_inputs: List[Dict[str, str]] = field(default_factory=list)
     frame_outputs: List[Dict[str, str]] = field(default_factory=list)
     frame_states: List[Dict[str, str]] = field(default_factory=list)
+    next_state_names: Dict[str, str] = field(default_factory=dict)
 
     def input_name(self, frame: int, net: str) -> str:
         return self.frame_inputs[frame][net]
 
     def output_name(self, frame: int, net: str) -> str:
         return self.frame_outputs[frame][net]
+
+
+def _encode_frame(
+    encoder: TseitinEncoder,
+    circuit: Circuit,
+    result: UnrolledCircuit,
+    frame: int,
+    *,
+    fix_initial_state: bool,
+) -> None:
+    """Encode one time frame and append its name maps to ``result``."""
+    key_set = set(circuit.key_inputs)
+    frame_tag = f"{result.prefix}t{frame}@"
+    shared: Dict[str, str] = {}
+    inputs_map: Dict[str, str] = {}
+    for net in circuit.inputs:
+        if net in key_set:
+            shared[net] = result.key_nets[net]
+            inputs_map[net] = result.key_nets[net]
+        elif result.shared_input_prefix is not None:
+            shared_name = f"{result.shared_input_prefix}{frame}@{net}"
+            shared[net] = shared_name
+            inputs_map[net] = shared_name
+        else:
+            inputs_map[net] = f"{frame_tag}{net}"
+    # Present state of this frame is the captured next state of the
+    # previous frame (shared variable), or a fresh frame-0 variable.
+    states_map: Dict[str, str] = {}
+    for q in circuit.dffs:
+        if frame == 0:
+            states_map[q] = f"{frame_tag}{q}"
+        else:
+            states_map[q] = result.next_state_names[q]
+            shared[q] = result.next_state_names[q]
+
+    encoder.encode(circuit, prefix=frame_tag, shared_nets=shared)
+
+    outputs_map = {net: shared.get(net, f"{frame_tag}{net}") for net in circuit.outputs}
+    result.frame_inputs.append(inputs_map)
+    result.frame_outputs.append(outputs_map)
+    result.frame_states.append(states_map)
+
+    if frame == 0 and fix_initial_state:
+        for q, ff in circuit.dffs.items():
+            encoder.add_value(states_map[q], ff.init)
+
+    result.next_state_names = {
+        q: shared.get(ff.d, f"{frame_tag}{ff.d}") for q, ff in circuit.dffs.items()
+    }
 
 
 def encode_unrolled(
@@ -70,50 +130,37 @@ def encode_unrolled(
     fix_initial_state:
         Constrain frame 0's present state to each flip-flop's reset value.
     """
-    key_set = set(circuit.key_inputs)
     key_prefix = key_prefix if key_prefix is not None else f"{prefix}KEY@"
-    result = UnrolledCircuit(prefix=prefix, num_frames=num_frames)
+    result = UnrolledCircuit(
+        prefix=prefix, num_frames=num_frames, shared_input_prefix=shared_input_prefix
+    )
     result.key_nets = {net: f"{key_prefix}{net}" for net in circuit.key_inputs}
 
-    previous_next_state: Dict[str, str] = {}
     for frame in range(num_frames):
-        frame_tag = f"{prefix}t{frame}@"
-        shared: Dict[str, str] = {}
-        inputs_map: Dict[str, str] = {}
-        for net in circuit.inputs:
-            if net in key_set:
-                shared[net] = result.key_nets[net]
-                inputs_map[net] = result.key_nets[net]
-            elif shared_input_prefix is not None:
-                shared_name = f"{shared_input_prefix}{frame}@{net}"
-                shared[net] = shared_name
-                inputs_map[net] = shared_name
-            else:
-                inputs_map[net] = f"{frame_tag}{net}"
-        # Present state of this frame is the captured next state of the
-        # previous frame (shared variable), or a fresh frame-0 variable.
-        states_map: Dict[str, str] = {}
-        for q in circuit.dffs:
-            if frame == 0:
-                states_map[q] = f"{frame_tag}{q}"
-            else:
-                states_map[q] = previous_next_state[q]
-                shared[q] = previous_next_state[q]
-
-        encoder.encode(circuit, prefix=frame_tag, shared_nets=shared)
-
-        outputs_map = {net: shared.get(net, f"{frame_tag}{net}") for net in circuit.outputs}
-        result.frame_inputs.append(inputs_map)
-        result.frame_outputs.append(outputs_map)
-        result.frame_states.append(states_map)
-
-        if frame == 0 and fix_initial_state:
-            for q, ff in circuit.dffs.items():
-                encoder.add_value(states_map[q], ff.init)
-
-        previous_next_state = {
-            q: f"{frame_tag}{ff.d}" if ff.d not in shared else shared[ff.d]
-            for q, ff in circuit.dffs.items()
-        }
-
+        _encode_frame(encoder, circuit, result, frame, fix_initial_state=fix_initial_state)
     return result
+
+
+def extend_unrolled(
+    encoder: TseitinEncoder,
+    circuit: Circuit,
+    unrolled: UnrolledCircuit,
+    num_frames: int,
+) -> UnrolledCircuit:
+    """Grow an existing unrolling to ``num_frames`` frames in place.
+
+    Frames ``unrolled.num_frames .. num_frames-1`` are appended to the same
+    encoder, chained onto the recorded ``next_state_names`` seam; the frames
+    already encoded (and every CNF variable referring to them) are untouched,
+    so the extension produces exactly the nets a fresh
+    :func:`encode_unrolled` at ``num_frames`` would.  ``encoder`` and
+    ``circuit`` must be the ones the unrolling was first encoded with.
+    """
+    if num_frames < unrolled.num_frames:
+        raise ValueError(
+            f"cannot shrink an unrolling ({unrolled.num_frames} -> {num_frames} frames)"
+        )
+    for frame in range(unrolled.num_frames, num_frames):
+        _encode_frame(encoder, circuit, unrolled, frame, fix_initial_state=False)
+    unrolled.num_frames = num_frames
+    return unrolled

@@ -72,6 +72,8 @@ class BatchedSequentialOracle(SequentialOracle):
         exhausted, and those surplus outputs are discarded), so each result
         list has exactly the length of its input sequence.  ``queries``
         advances by N and ``cycles`` by the total number of input vectors.
+        N is unbounded — batches wider than one packed word are split into
+        tiles by the simulator (see :data:`repro.engine.packed.TILE_WIDTH`).
         """
         self.queries += len(sequences)
         self.cycles += sum(len(seq) for seq in sequences)

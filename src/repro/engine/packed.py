@@ -12,6 +12,14 @@ CombinationalSimulator` contract vector-for-vector, including the missing-
 input :class:`~repro.netlist.circuit.CircuitError` and the ``ff.init``
 default for absent state bits, so the two simulators are interchangeable and
 can be diffed bit-for-bit.
+
+Batches of arbitrary width are supported through *multi-word tiling*: a pass
+wider than :data:`TILE_WIDTH` lanes is split transparently into word-sized
+tiles, each evaluated as its own packed pass, and the per-tile results are
+stitched back into full-width words.  Tiling keeps every intermediate word
+inside CPython's fast fixed-digit-count big-int range instead of letting
+one enormous int flow through every gate, and callers never see it: the
+word-level and batch APIs accept any width / batch size.
 """
 
 from __future__ import annotations
@@ -24,6 +32,9 @@ from repro.netlist.circuit import Circuit, CircuitError
 #: Per-lane state: either one mapping broadcast to every lane, or one
 #: mapping per lane.
 StateArg = Optional[Union[Mapping[str, int], Sequence[Mapping[str, int]]]]
+
+#: Lane count above which a packed pass is split into word-sized tiles.
+TILE_WIDTH = 128
 
 
 def pack_bits(bits: Sequence[int]) -> int:
@@ -91,12 +102,24 @@ class PackedSimulator:
     Word-level methods (``eval_words``, ``output_words``,
     ``next_state_words``, ``step_words``) operate directly on per-net words
     and take an explicit ``width``; batch methods accept/return per-vector
-    dicts and infer the width from the batch size.
+    dicts and infer the width from the batch size.  Widths beyond
+    ``tile_width`` lanes are evaluated tile by tile (see the module
+    docstring); ``tile_width=None`` disables tiling and runs every pass as
+    one arbitrarily wide word.
     """
 
-    def __init__(self, circuit: Circuit, *, compiled: Optional[CompiledCircuit] = None) -> None:
+    def __init__(
+        self,
+        circuit: Circuit,
+        *,
+        compiled: Optional[CompiledCircuit] = None,
+        tile_width: Optional[int] = TILE_WIDTH,
+    ) -> None:
+        if tile_width is not None and tile_width < 1:
+            raise ValueError("tile_width must be a positive lane count or None")
         self.circuit = circuit
         self.compiled = compiled if compiled is not None else compile_circuit(circuit)
+        self.tile_width = tile_width
 
     def refresh(self) -> None:
         """Recompile after the circuit was mutated."""
@@ -110,27 +133,49 @@ class PackedSimulator:
         mask = (1 << width) - 1
         return {q: (mask if init else 0) for q, _, init in self.compiled.state_items}
 
-    def _eval_slots(
+    def _eval_slots_tile(
         self,
         input_words: Mapping[str, int],
         state_words: Optional[Mapping[str, int]],
         width: int,
+        offset: int,
     ) -> List[int]:
+        """One packed pass over ``width`` lanes starting at lane ``offset``."""
         compiled = self.compiled
         mask = (1 << width) - 1
         values = [0] * compiled.num_slots
         for net, slot in zip(self.circuit.inputs, compiled.input_slots):
             try:
-                values[slot] = input_words[net] & mask
+                values[slot] = (input_words[net] >> offset) & mask
             except KeyError as exc:
                 raise CircuitError(f"missing word for primary input {net!r}") from exc
         state_words = state_words or {}
         for q, slot, init in compiled.state_items:
             word = state_words.get(q)
             if word is None:
-                word = mask if init else 0
-            values[slot] = word & mask
+                values[slot] = mask if init else 0
+            else:
+                values[slot] = (word >> offset) & mask
         compiled.run(values, mask)
+        return values
+
+    def _eval_slots(
+        self,
+        input_words: Mapping[str, int],
+        state_words: Optional[Mapping[str, int]],
+        width: int,
+    ) -> List[int]:
+        tile = self.tile_width
+        if tile is None or width <= tile:
+            return self._eval_slots_tile(input_words, state_words, width, 0)
+        values = [0] * self.compiled.num_slots
+        for offset in range(0, width, tile):
+            tile_values = self._eval_slots_tile(
+                input_words, state_words, min(tile, width - offset), offset
+            )
+            for slot, word in enumerate(tile_values):
+                if word:
+                    values[slot] |= word << offset
         return values
 
     def eval_words(
