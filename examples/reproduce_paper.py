@@ -4,9 +4,11 @@
 Runs every table/figure driver through :func:`repro.experiments.run_all` and
 writes ``experiments_report.md`` next to this script.  Pass ``--full`` to
 sweep every benchmark named in the paper (slow: hours with the pure-Python
-SAT back-end).
+SAT back-end) — and pair it with ``--workers``/``--store`` to run the sweep
+as a parallel, resumable campaign: a rerun with the same store picks up
+exactly where a crash or Ctrl-C left off.
 
-Run with:  python examples/reproduce_paper.py [--full]
+Run with:  python examples/reproduce_paper.py [--full] [--workers N] [--store DIR]
 """
 
 import argparse
@@ -21,11 +23,16 @@ def main() -> None:
                         help="run the full paper-sized sweeps (slow)")
     parser.add_argument("--time-limit", type=float, default=20.0,
                         help="per-attack time budget in seconds")
+    parser.add_argument("--workers", type=int, default=0,
+                        help="worker processes (0 = serial in-process)")
+    parser.add_argument("--store", default=None,
+                        help="campaign store directory (enables resume)")
     args = parser.parse_args()
 
     output = Path(__file__).resolve().parent.parent / "experiments_report.md"
     run_all(quick=not args.full, attack_time_limit=args.time_limit,
-            output_path=str(output))
+            output_path=str(output), workers=args.workers,
+            store_path=args.store)
     print(f"\nfull report written to {output}")
 
 

@@ -6,6 +6,13 @@ attack stops early and returns that *approximate* key.  Against low-
 corruptibility schemes (Anti-SAT) this recovers an almost-correct key quickly;
 against Cute-Lock the returned static key is simply wrong, which is the deep
 red "x..x" outcome in the paper's tables.
+
+Like :func:`~repro.attacks.sat_attack.sat_attack`, the DIP loop harvests up
+to ``dip_batch`` DIPs per round behind activation-gated blocking clauses and
+answers them with one batched oracle pass (``engine="packed"``, the
+default); the error-sampling cadence is preserved — the candidate key is
+re-sampled whenever the iteration count crosses a ``settle_rounds``
+boundary.  ``engine="scalar"`` keeps the original one-DIP-per-call path.
 """
 
 from __future__ import annotations
@@ -15,7 +22,11 @@ import time
 from typing import Dict, Optional, Union
 
 from repro.attacks.results import AttackOutcome, AttackResult
-from repro.attacks.sat_attack import _IncrementalCnf, _as_locked_pair, _extract_dip
+from repro.attacks.sat_attack import (
+    _DipHarvester,
+    _IncrementalCnf,
+    _as_locked_pair,
+)
 from repro.engine.batch_oracle import BatchedCombinationalOracle
 from repro.engine.packed import PackedSimulator
 from repro.locking.base import LockedCircuit
@@ -35,6 +46,8 @@ def appsat_attack(
     conflict_limit: Optional[int] = 200_000,
     verify_vectors: int = 256,
     seed: int = 0,
+    dip_batch: int = 8,
+    engine: str = "packed",
 ) -> AttackResult:
     """Run the AppSAT approximate attack.
 
@@ -44,7 +57,19 @@ def appsat_attack(
     key.  The result is classified against the oracle exactly like the exact
     attack (an approximate key that fails full verification is reported as
     ``WRONG_KEY``).
+
+    ``dip_batch``/``engine`` control batched DIP harvesting exactly as in
+    :func:`~repro.attacks.sat_attack.sat_attack` (``engine="scalar"``
+    restores the one-DIP-per-solver-call reference path).
     """
+    if engine not in ("packed", "scalar"):
+        raise ValueError(f"unknown engine {engine!r} (expected 'packed' or 'scalar')")
+    if dip_batch < 1:
+        raise ValueError("dip_batch must be at least 1")
+    batched = engine == "packed"
+    if not batched:
+        dip_batch = 1
+
     locked_circuit, original = _as_locked_pair(locked, oracle_circuit)
     start = time.monotonic()
     rng = random.Random(seed)
@@ -74,7 +99,6 @@ def appsat_attack(
     diff_literal = encoder.literal(diff_net, True)
 
     deadline = start + time_limit
-    iterations = 0
 
     def extract_candidate() -> Optional[Dict[str, int]]:
         inc.sync()
@@ -102,9 +126,17 @@ def appsat_attack(
         )
         return errors / max(samples_per_round, 1)
 
+    constraint_tag = 0
+    dip_rounds = 0
+    harvester = _DipHarvester(
+        inc, diff_literal, functional_nets, conflict_limit, deadline, max_iterations
+    )
+
     def add_dip_constraints(dip: Dict[str, int], response: Dict[str, int]) -> None:
+        nonlocal constraint_tag
+        constraint_tag += 1
         for side, keys in (("A", keys_a), ("B", keys_b)):
-            prefix = f"c{side}{iterations}@"
+            prefix = f"c{side}{constraint_tag}@"
             shared = {net: keys[index] for index, net in enumerate(key_nets)}
             shared.update({net: f"{prefix}{net}" for net in functional_nets})
             encoder.encode(locked_view, prefix=prefix, shared_nets=shared)
@@ -115,9 +147,11 @@ def appsat_attack(
 
     def finish(outcome: AttackOutcome, key: Optional[Dict[str, int]] = None, **details) -> AttackResult:
         return AttackResult(
-            attack="appsat", outcome=outcome, key=key, iterations=iterations,
+            attack="appsat", outcome=outcome, key=key,
+            iterations=harvester.iterations,
             runtime_seconds=time.monotonic() - start,
-            details={"oracle_queries": oracle.queries, **details},
+            details={"oracle_queries": oracle.queries, "engine": engine,
+                     "dip_rounds": dip_rounds, **details},
         )
 
     def classify(candidate: Dict[str, int], approximate: bool) -> AttackResult:
@@ -127,26 +161,40 @@ def appsat_attack(
         outcome = AttackOutcome.CORRECT if verdict.equivalent else AttackOutcome.WRONG_KEY
         return finish(outcome, key=candidate, approximate=approximate)
 
-    while iterations < max_iterations:
+    # Harvest quota ramps 1, 2, 4, ... like the exact attack, but never past
+    # the next settle boundary: the sampling cadence (every ``settle_rounds``
+    # DIP iterations) is part of AppSAT's semantics, and a round that
+    # overshot it would skip an early-exit opportunity the scalar path took.
+    round_quota = 1
+    next_settle = settle_rounds
+    while harvester.iterations < max_iterations:
         if time.monotonic() > deadline:
             return finish(AttackOutcome.TIMEOUT, reason="time limit")
-        inc.sync()
-        status = solver.solve(assumptions=[diff_literal], conflict_limit=conflict_limit,
-                              time_limit=max(deadline - time.monotonic(), 0.001))
-        if status is None:
+
+        quota = min(round_quota, max(1, next_settle - harvester.iterations))
+        harvested = harvester.round(quota)
+        if len(harvested) >= quota:
+            round_quota = min(round_quota * 2, dip_batch)
+        if harvested:
+            dip_rounds += 1
+            if batched:
+                responses = oracle.query_batch(harvested)
+            else:
+                responses = [oracle.query(dip) for dip in harvested]
+            for dip, response in zip(harvested, responses):
+                add_dip_constraints(dip, response)
+        elif harvester.solver_limited:
             return finish(AttackOutcome.TIMEOUT, reason="solver limit during DIP search")
-        if status is False:
+
+        if harvester.converged:
             candidate = extract_candidate()
             if candidate is None:
                 return finish(AttackOutcome.CNS,
                               reason="no static key satisfies all DIP constraints")
             return classify(candidate, approximate=False)
-        iterations += 1
-        dip = _extract_dip(encoder, solver.model(), functional_nets)
-        response = oracle.query(dip)
-        add_dip_constraints(dip, response)
 
-        if iterations % settle_rounds == 0:
+        if harvester.iterations >= next_settle:
+            next_settle += settle_rounds
             candidate = extract_candidate()
             if candidate is None:
                 return finish(AttackOutcome.CNS,

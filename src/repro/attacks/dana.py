@@ -46,6 +46,32 @@ class DanaReport:
     def num_clusters(self) -> int:
         return len(self.clusters)
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form (campaign workers ship reports as JSON)."""
+        from repro.jsonutil import jsonable
+
+        return {
+            "circuit_name": self.circuit_name,
+            "clusters": [list(cluster) for cluster in self.clusters],
+            "nmi_score": self.nmi_score,
+            "cpu_time": self.cpu_time,
+            "rounds": self.rounds,
+            "degenerate": self.degenerate,
+            "details": jsonable(self.details),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "DanaReport":
+        return cls(
+            circuit_name=str(data["circuit_name"]),
+            clusters=[list(cluster) for cluster in data.get("clusters", [])],  # type: ignore[union-attr]
+            nmi_score=data.get("nmi_score"),  # type: ignore[arg-type]
+            cpu_time=float(data.get("cpu_time", 0.0)),  # type: ignore[arg-type]
+            rounds=int(data.get("rounds", 0)),  # type: ignore[arg-type]
+            degenerate=bool(data.get("degenerate", False)),
+            details=dict(data.get("details", {})),  # type: ignore[arg-type]
+        )
+
 
 # --------------------------------------------------------------------------- #
 # register dependency graph

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple, Union
 
 import random
 
@@ -56,6 +56,34 @@ class FallReport:
     @property
     def num_keys(self) -> int:
         return len(self.confirmed_keys)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form (campaign workers ship reports as JSON)."""
+        from repro.jsonutil import jsonable
+
+        return {
+            "circuit_name": self.circuit_name,
+            "candidates": [dict(candidate) for candidate in self.candidates],
+            "confirmed_keys": [dict(key) for key in self.confirmed_keys],
+            "cpu_time": self.cpu_time,
+            "details": jsonable(self.details),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "FallReport":
+        return cls(
+            circuit_name=str(data["circuit_name"]),
+            candidates=[
+                {str(net): int(bit) for net, bit in candidate.items()}
+                for candidate in data.get("candidates", [])  # type: ignore[union-attr]
+            ],
+            confirmed_keys=[
+                {str(net): int(bit) for net, bit in key.items()}
+                for key in data.get("confirmed_keys", [])  # type: ignore[union-attr]
+            ],
+            cpu_time=float(data.get("cpu_time", 0.0)),  # type: ignore[arg-type]
+            details=dict(data.get("details", {})),  # type: ignore[arg-type]
+        )
 
     def to_attack_result(self) -> AttackResult:
         """Render as an :class:`AttackResult` (CORRECT iff a key was confirmed)."""

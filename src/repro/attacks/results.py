@@ -16,7 +16,9 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Mapping, Optional
+
+from repro.jsonutil import jsonable
 
 
 class AttackOutcome(str, enum.Enum):
@@ -76,6 +78,34 @@ class AttackResult:
         return (
             f"{self.attack}: {self.outcome.value} "
             f"(iters={self.iterations}, t={self.runtime_seconds:.3f}s, key={key_repr})"
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form (campaign workers ship results as JSON).
+
+        ``details`` values that are not JSON types (solver objects,
+        counterexample containers, …) are coerced to strings rather than
+        dropped, so the round trip never raises and never loses context.
+        """
+        return {
+            "attack": self.attack,
+            "outcome": self.outcome.value,
+            "key": dict(self.key) if self.key is not None else None,
+            "iterations": self.iterations,
+            "runtime_seconds": self.runtime_seconds,
+            "details": jsonable(self.details),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "AttackResult":
+        key = data.get("key")
+        return cls(
+            attack=str(data["attack"]),
+            outcome=AttackOutcome(str(data["outcome"])),
+            key={str(net): int(bit) for net, bit in key.items()} if key else None,  # type: ignore[union-attr]
+            iterations=int(data.get("iterations", 0)),  # type: ignore[arg-type]
+            runtime_seconds=float(data.get("runtime_seconds", 0.0)),  # type: ignore[arg-type]
+            details=dict(data.get("details", {})),  # type: ignore[arg-type]
         )
 
 

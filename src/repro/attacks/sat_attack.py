@@ -12,6 +12,19 @@ Against Cute-Lock the static-key assumption is exactly what fails: the
 accumulated DIP constraints (which include DIPs at different counter values)
 eliminate every static key, and the final key-extraction step reports the
 "condition not solvable" outcome the paper's tables show.
+
+The refinement loop rides the packed engine the same way the sequential
+attacks do (``engine="packed"``, the default): up to ``dip_batch`` distinct
+DIPs are harvested per round behind activation-gated blocking clauses —
+scoped to the round, so an unassumed activation variable keeps every later
+solve unaffected — and all of them are answered by one lane-parallel
+:meth:`~repro.engine.batch_oracle.BatchedCombinationalOracle.query_batch`
+pass.  ``engine="scalar"`` keeps the original one-DIP-per-solver-call
+reference path.  Both engines prove the same facts, so the semantic verdicts
+(CORRECT / WRONG_KEY / CNS) agree whenever both run to convergence; under a
+*tight* ``max_iterations`` the batched path may spend part of the budget on
+speculatively harvested DIPs the scalar path never needed, so budget-bound
+outcomes (TIMEOUT) can differ near the cap.
 """
 
 from __future__ import annotations
@@ -54,6 +67,95 @@ class _IncrementalCnf:
             self._synced = len(clauses)
 
 
+class _DipHarvester:
+    """Batched DIP harvesting over the two-copy miter (SAT and AppSAT).
+
+    Each :meth:`round` call enumerates up to ``quota`` distinct DIPs behind
+    activation-gated blocking clauses (assumed only within the round, so an
+    unassumed activation variable keeps every later solve unaffected) and
+    records whether the miter **converged** — an UNSAT with no blocks
+    assumed, i.e. a proof that no DIP remains — or the solver hit its
+    resource limit.  ``iterations`` counts DIPs across all rounds, exactly
+    like the scalar one-DIP-per-call loop did.
+    """
+
+    def __init__(
+        self,
+        inc: _IncrementalCnf,
+        diff_literal: int,
+        functional_nets: List[str],
+        conflict_limit: Optional[int],
+        deadline: float,
+        max_iterations: int,
+    ) -> None:
+        self.inc = inc
+        self.diff_literal = diff_literal
+        self.functional_nets = list(functional_nets)
+        self.conflict_limit = conflict_limit
+        self.deadline = deadline
+        self.max_iterations = max_iterations
+        self.iterations = 0
+        self.blocking_clauses = 0
+        self.converged = False
+        self.solver_limited = False
+
+    def round(self, quota: int) -> List[Dict[str, int]]:
+        """Harvest up to ``quota`` distinct DIPs; see the class docstring."""
+        inc = self.inc
+        self.solver_limited = False
+        inc.sync()
+        harvested: List[Dict[str, int]] = []
+        block_assumptions: List[int] = []
+        while True:
+            status = inc.solver.solve(
+                assumptions=[self.diff_literal] + block_assumptions,
+                conflict_limit=self.conflict_limit,
+                time_limit=max(self.deadline - time.monotonic(), 0.001),
+            )
+            if status is None:
+                self.solver_limited = True
+                break
+            if status is False:
+                # Only an unblocked UNSAT proves there is no DIP left.
+                self.converged = not block_assumptions
+                break
+            self.iterations += 1
+            dip = _extract_dip(inc.encoder, inc.solver.model(), self.functional_nets)
+            harvested.append(dip)
+            if (len(harvested) >= quota
+                    or self.iterations >= self.max_iterations
+                    or time.monotonic() > self.deadline):
+                break
+            self.blocking_clauses += 1
+            block_assumptions.append(
+                _block_dip(inc.encoder, self.functional_nets, dip,
+                           f"__dip_block_{self.blocking_clauses}")
+            )
+            inc.sync()
+        return harvested
+
+
+def _block_dip(
+    encoder: TseitinEncoder,
+    functional_nets: List[str],
+    dip: Mapping[str, int],
+    act_name: str,
+) -> int:
+    """Add an activation-gated clause forbidding ``dip`` as the shared input.
+
+    Returns the activation literal: the clause only bites while that literal
+    is assumed, so the block is scoped to the harvesting round that created
+    it (once the round's observation constraints land they subsume it, and
+    the activation variable is simply never assumed again).
+    """
+    act_literal = encoder.literal(act_name, True)
+    clause = [-act_literal]
+    for net in functional_nets:
+        clause.append(encoder.literal(net, not bool(dip[net])))
+    encoder.cnf.add_clause(clause)
+    return act_literal
+
+
 def _extract_dip(
     encoder: TseitinEncoder, model: Mapping[int, int], functional_nets: List[str]
 ) -> Dict[str, int]:
@@ -83,6 +185,8 @@ def sat_attack(
     time_limit: float = 120.0,
     conflict_limit: Optional[int] = 200_000,
     verify_vectors: int = 256,
+    dip_batch: int = 8,
+    engine: str = "packed",
     attack_name: str = "sat",
 ) -> AttackResult:
     """Run the combinational oracle-guided SAT attack.
@@ -100,7 +204,22 @@ def sat_attack(
         Per-solver-call conflict budget (None = unlimited).
     verify_vectors:
         Random vectors used to verify a recovered key against the oracle.
+    dip_batch:
+        Upper bound on DIPs harvested per round before a single batched
+        oracle query answers them all (see the module docstring).
+    engine:
+        ``"packed"`` (default) enables batched DIP harvesting;
+        ``"scalar"`` forces ``dip_batch=1`` and keeps the original
+        one-DIP-per-solver-call reference path.
     """
+    if engine not in ("packed", "scalar"):
+        raise ValueError(f"unknown engine {engine!r} (expected 'packed' or 'scalar')")
+    if dip_batch < 1:
+        raise ValueError("dip_batch must be at least 1")
+    batched = engine == "packed"
+    if not batched:
+        dip_batch = 1
+
     locked_circuit, original = _as_locked_pair(locked, oracle_circuit)
     start = time.monotonic()
 
@@ -141,8 +260,12 @@ def sat_attack(
     )
     diff_literal = encoder.literal(diff_net, True)
 
-    iterations = 0
+    dip_rounds = 0
+    constraint_tag = 0
     deadline = start + time_limit
+    harvester = _DipHarvester(
+        inc, diff_literal, functional_nets, conflict_limit, deadline, max_iterations
+    )
 
     def remaining() -> float:
         return max(0.0, deadline - time.monotonic())
@@ -152,33 +275,23 @@ def sat_attack(
             attack=attack_name,
             outcome=outcome,
             key=key,
-            iterations=iterations,
+            iterations=harvester.iterations,
             runtime_seconds=time.monotonic() - start,
             details={
                 "oracle_queries": oracle.queries,
                 "solver_conflicts": solver.stats.conflicts,
+                "engine": engine,
+                "dip_rounds": dip_rounds,
                 **details,
             },
         )
 
-    while iterations < max_iterations:
-        inc.sync()
-        status = solver.solve(
-            assumptions=[diff_literal],
-            conflict_limit=conflict_limit,
-            time_limit=remaining() or 0.001,
-        )
-        if status is None:
-            return finish(AttackOutcome.TIMEOUT, reason="solver limit during DIP search")
-        if status is False:
-            break  # no more DIPs
-        iterations += 1
-        dip = _extract_dip(encoder, solver.model(), functional_nets)
-        response = oracle.query(dip)
-
-        # Constrain both key copies to reproduce the oracle response on the DIP.
+    def add_dip_constraints(dip: Dict[str, int], response: Dict[str, int]) -> None:
+        """Constrain both key copies to reproduce the oracle response on ``dip``."""
+        nonlocal constraint_tag
+        constraint_tag += 1
         for side, keys in (("A", keys_a), ("B", keys_b)):
-            prefix = f"c{side}{iterations}@"
+            prefix = f"c{side}{constraint_tag}@"
             shared = {net: keys[index] for index, net in enumerate(key_nets)}
             shared.update({net: f"{prefix}{net}" for net in functional_nets})
             encoder.encode(locked_view, prefix=prefix, shared_nets=shared)
@@ -187,10 +300,32 @@ def sat_attack(
             for out in shared_outputs:
                 encoder.add_value(f"{prefix}{out}", response[out])
 
+    # Adaptive harvesting (mirrors sequential_core): start each attack with
+    # single-DIP rounds and double the quota only while rounds keep filling
+    # it, so easy instances never over-harvest DIPs the first observation
+    # would have ruled out, while hard instances ramp up to dip_batch-wide
+    # rounds whose oracle answers arrive in one packed pass.
+    round_quota = 1
+    while harvester.iterations < max_iterations:
+        harvested = harvester.round(round_quota)
+        if len(harvested) >= round_quota:
+            round_quota = min(round_quota * 2, dip_batch)
+        if harvested:
+            dip_rounds += 1
+            if batched:
+                responses = oracle.query_batch(harvested)
+            else:
+                responses = [oracle.query(dip) for dip in harvested]
+            for dip, response in zip(harvested, responses):
+                add_dip_constraints(dip, response)
+        elif harvester.solver_limited:
+            return finish(AttackOutcome.TIMEOUT, reason="solver limit during DIP search")
+        if harvester.converged:
+            break
         if time.monotonic() > deadline:
             return finish(AttackOutcome.TIMEOUT, reason="time limit after DIP refinement")
 
-    if iterations >= max_iterations:
+    if not harvester.converged and harvester.iterations >= max_iterations:
         return finish(AttackOutcome.TIMEOUT, reason="iteration limit reached")
 
     # DIP loop converged: extract a key consistent with every observation.

@@ -1,0 +1,274 @@
+"""Campaign execution: serial in-process, or fanned out over worker processes.
+
+Two modes, selected by ``workers``:
+
+* ``workers == 0`` — **serial in-process**: jobs run one after another inside
+  the calling process.  This is the deterministic reference mode the
+  experiment drivers default to, and what the tests compare the parallel
+  mode against.
+* ``workers >= 1`` — **process pool**: jobs are fanned out over a
+  ``concurrent.futures.ProcessPoolExecutor`` with ``workers`` workers.
+
+Per-job wall-clock timeouts are enforced *inside* the executing process with
+``SIGALRM`` (both modes), so a job that overruns is interrupted exactly where
+it is and recorded as a ``timeout`` row — the pool keeps its worker and the
+sweep keeps going.  A job that raises is recorded as an ``error`` row.  A
+worker that dies outright (segfault, OOM-kill) breaks the pool; the executor
+records nothing for jobs that already finished (their records were appended
+as they completed), rebuilds the pool, retries each not-yet-recorded job
+once, and records an ``error`` row for any job that kills the pool twice.
+
+Resume is a property of the (spec, store) pair, not of this module: jobs
+whose key already has a record in the store are skipped up front (completed
+rows always; error/timeout rows unless ``retry_failed``).
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+import traceback
+from concurrent.futures import CancelledError, ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.campaign.jobs import execute_job
+from repro.campaign.spec import CampaignSpec, JobSpec
+from repro.campaign.store import (
+    STATUS_COMPLETED,
+    STATUS_ERROR,
+    STATUS_TIMEOUT,
+    Record,
+    ResultStore,
+)
+
+
+class JobTimeout(Exception):
+    """Raised inside a job when its per-job wall-clock budget expires."""
+
+
+@contextmanager
+def job_deadline(seconds: Optional[float]):
+    """Interrupt the enclosed block with :class:`JobTimeout` after ``seconds``.
+
+    SIGALRM-based, so it works for pure-Python jobs on POSIX when running in
+    a process's main thread (which both executor modes do).  With ``seconds``
+    falsy — or without SIGALRM / off the main thread — it is a no-op and the
+    job runs unbounded.
+    """
+    usable = (
+        seconds
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def _expire(signum, frame):
+        raise JobTimeout(f"job exceeded its {seconds:.3f}s wall-clock budget")
+
+    previous = signal.signal(signal.SIGALRM, _expire)
+    signal.setitimer(signal.ITIMER_REAL, float(seconds))
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def execute_job_attempt(
+    kind: str,
+    params: Dict[str, object],
+    job_timeout: Optional[float] = None,
+) -> Record:
+    """Run one job attempt in this process and classify the outcome.
+
+    Never raises: the return value is a partial record with ``status`` one of
+    ``completed`` / ``timeout`` / ``error`` plus the payload or the failure
+    context.  ``KeyboardInterrupt``/``SystemExit`` still propagate so an
+    operator can stop a serial sweep.
+    """
+    start = time.perf_counter()
+    try:
+        with job_deadline(job_timeout):
+            payload = execute_job(kind, params)
+        return {
+            "status": STATUS_COMPLETED,
+            "payload": payload,
+            "runtime_seconds": time.perf_counter() - start,
+        }
+    except JobTimeout as exc:
+        return {
+            "status": STATUS_TIMEOUT,
+            "error": str(exc),
+            "job_timeout": job_timeout,
+            "runtime_seconds": time.perf_counter() - start,
+        }
+    except Exception as exc:
+        return {
+            "status": STATUS_ERROR,
+            "error": f"{type(exc).__name__}: {exc}",
+            "traceback": traceback.format_exc(limit=16),
+            "runtime_seconds": time.perf_counter() - start,
+        }
+
+
+def _pool_worker(job: Dict[str, object], job_timeout: Optional[float]) -> Record:
+    """Top-level pool target (must be picklable for any start method)."""
+    record = execute_job_attempt(
+        str(job["kind"]), dict(job["params"]), job_timeout  # type: ignore[arg-type]
+    )
+    record.update({"key": job["key"], "kind": job["kind"], "group": job["group"]})
+    return record
+
+
+@dataclass
+class RunSummary:
+    """What one ``run_campaign`` invocation did (not the store's full state)."""
+
+    total: int = 0          #: jobs in the spec
+    skipped: int = 0        #: jobs satisfied by existing records (resume)
+    executed: int = 0       #: attempts actually run this invocation
+    completed: int = 0
+    timeouts: int = 0
+    errors: int = 0
+    wall_seconds: float = 0.0
+    records: List[Record] = field(default_factory=list)
+
+    def note(self, record: Record) -> None:
+        self.executed += 1
+        status = record.get("status")
+        if status == STATUS_COMPLETED:
+            self.completed += 1
+        elif status == STATUS_TIMEOUT:
+            self.timeouts += 1
+        else:
+            self.errors += 1
+        self.records.append(record)
+
+    @property
+    def remaining(self) -> int:
+        return self.total - self.skipped - self.executed
+
+
+ProgressFn = Callable[[Record, int, int], None]
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    store: ResultStore,
+    *,
+    workers: int = 0,
+    job_timeout: Optional[float] = None,
+    resume: bool = True,
+    retry_failed: bool = False,
+    progress: Optional[ProgressFn] = None,
+    write_manifest: bool = True,
+) -> RunSummary:
+    """Execute ``spec``'s jobs, appending one record per finished attempt.
+
+    Parameters
+    ----------
+    workers:
+        ``0`` = serial in-process (deterministic reference); ``N >= 1`` = a
+        process pool with ``N`` workers (``1`` still buys crash isolation).
+    job_timeout:
+        Per-job wall-clock budget in seconds (None = unbounded).
+    resume:
+        Skip jobs whose key already has a record (completed rows always;
+        error/timeout rows too unless ``retry_failed``).
+    progress:
+        Optional ``fn(record, finished_count, pending_total)`` callback,
+        invoked after each record is appended.
+    """
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+    started = time.perf_counter()
+    summary = RunSummary(total=len(spec.jobs))
+    if write_manifest and store.persistent:
+        store.write_manifest(spec)
+
+    pending: List[JobSpec] = []
+    for job in spec.jobs:
+        record = store.record_for(job.key) if resume else None
+        if record is not None:
+            if record.get("status") == STATUS_COMPLETED or not retry_failed:
+                summary.skipped += 1
+                continue
+        pending.append(job)
+
+    def finish(job: JobSpec, body: Record) -> None:
+        record = dict(body)
+        record.update({
+            "key": job.key, "kind": job.kind, "group": job.group,
+            "params": dict(job.params),
+        })
+        stored = store.append(record)
+        summary.note(stored)
+        if progress is not None:
+            progress(stored, summary.executed, len(pending))
+
+    if workers == 0:
+        for job in pending:
+            finish(job, execute_job_attempt(job.kind, dict(job.params), job_timeout))
+    else:
+        _run_pool(pending, workers, job_timeout, finish)
+
+    summary.wall_seconds = time.perf_counter() - started
+    return summary
+
+
+def _run_pool(
+    pending: List[JobSpec],
+    workers: int,
+    job_timeout: Optional[float],
+    finish: Callable[[JobSpec, Record], None],
+) -> None:
+    """Fan ``pending`` out over a process pool, surviving broken pools.
+
+    A worker dying outright (segfault, OOM-kill) breaks the whole pool, and
+    every still-unfinished future in the round fails with it — including
+    innocent jobs that merely shared the pool with the culprit.  So nothing
+    is judged in the shared round: every job whose future failed at the pool
+    level is re-run in a **single-job pool**, where a crash is attributable
+    to exactly that job and is recorded as its ``error`` row.  Jobs that
+    finished before the breakage keep their records; an innocent job re-run
+    after a breakage has at-least-once (not exactly-once) semantics.
+    """
+    suspects: List[JobSpec] = []
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = {
+            pool.submit(_pool_worker, job.to_dict(), job_timeout): job
+            for job in pending
+        }
+        for future in as_completed(futures):
+            job = futures[future]
+            try:
+                body = future.result()
+            except (CancelledError, BrokenProcessPool, Exception):  # noqa: BLE001
+                suspects.append(job)
+                continue
+            finish(job, body)
+
+    # Keep the spec's job order for the isolated re-runs (as_completed
+    # yields in completion order).
+    order = {job.key: index for index, job in enumerate(pending)}
+    for job in sorted(suspects, key=lambda job: order[job.key]):
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            future = pool.submit(_pool_worker, job.to_dict(), job_timeout)
+            try:
+                body = future.result()
+            except (CancelledError, BrokenProcessPool, Exception) as exc:  # noqa: BLE001
+                body = {
+                    "status": STATUS_ERROR,
+                    "error": (
+                        "worker process died while running this job in an "
+                        f"isolated pool: {type(exc).__name__}: {exc}"
+                    ),
+                    "runtime_seconds": 0.0,
+                }
+            finish(job, body)

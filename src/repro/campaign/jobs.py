@@ -1,0 +1,89 @@
+"""Job-kind registry: how a worker process turns a spec cell into a payload.
+
+A *job kind* is a name bound to a callable ``fn(params: dict) -> dict`` whose
+return value must be JSON-serialisable (it is stored verbatim in the result
+store and handed to the group aggregator).  Built-in kinds — the experiment
+cells plus a ``sleep`` kind used by the tests, the CI smoke grid and the
+throughput benchmark — are resolved lazily by import path, so worker
+processes (including ``spawn``-started ones that do not inherit the parent's
+module state) can always resolve them.  Additional kinds can be registered
+at runtime with :func:`register_job_kind`; with the default ``fork`` start
+method those propagate to pool workers too.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+import time
+from typing import Callable, Dict, Mapping
+
+JobFn = Callable[[Mapping[str, object]], Dict[str, object]]
+
+#: Built-in kinds, resolved lazily as ``module:function``.
+_BUILTIN: Dict[str, str] = {
+    "sleep": "repro.campaign.jobs:sleep_job",
+    "table1": "repro.experiments.table1:run_table1_cell",
+    "table2": "repro.experiments.table2:run_table2_cell",
+    "table3_cell": "repro.experiments.table3:run_table3_cell",
+    "table4_cell": "repro.experiments.table4:run_table4_cell",
+    "table5_cell": "repro.experiments.table5:run_table5_cell",
+    "figure4_cell": "repro.experiments.figure4:run_figure4_cell",
+}
+
+_REGISTRY: Dict[str, JobFn] = {}
+
+
+def register_job_kind(name: str, fn: JobFn, *, override: bool = False) -> None:
+    """Bind ``name`` to ``fn`` for this process (and forked children)."""
+    if not override and (name in _REGISTRY or name in _BUILTIN):
+        raise ValueError(f"job kind {name!r} is already registered")
+    _REGISTRY[name] = fn
+
+
+def resolve_job_kind(name: str) -> JobFn:
+    """Return the callable for ``name``, importing built-ins on demand."""
+    fn = _REGISTRY.get(name)
+    if fn is not None:
+        return fn
+    target = _BUILTIN.get(name)
+    if target is None:
+        raise KeyError(
+            f"unknown job kind {name!r}; known kinds: "
+            f"{sorted(set(_BUILTIN) | set(_REGISTRY))}"
+        )
+    module_name, _, attr = target.partition(":")
+    fn = getattr(importlib.import_module(module_name), attr)
+    _REGISTRY[name] = fn
+    return fn
+
+
+def execute_job(kind: str, params: Mapping[str, object]) -> Dict[str, object]:
+    """Run one job in the current process and return its payload."""
+    return resolve_job_kind(kind)(params)
+
+
+def sleep_job(params: Mapping[str, object]) -> Dict[str, object]:
+    """Deterministic filler job for tests, smoke grids and benchmarks.
+
+    ``seconds`` — wall-clock to sleep; ``fail`` — raise instead of returning
+    (exercises error isolation); ``kill`` — SIGKILL the executing process
+    (exercises broken-pool recovery; never use outside tests); ``log_path``
+    — append one line per execution (lets tests count how often a job
+    actually ran across resume cycles).
+    """
+    seconds = float(params.get("seconds", 0.0))
+    if params.get("log_path"):
+        # O_APPEND keeps concurrent one-line writes from interleaving.
+        fd = os.open(str(params["log_path"]), os.O_WRONLY | os.O_CREAT | os.O_APPEND)
+        try:
+            os.write(fd, f"{params.get('marker', 'run')}\n".encode("utf-8"))
+        finally:
+            os.close(fd)
+    if seconds:
+        time.sleep(seconds)
+    if params.get("kill"):
+        os.kill(os.getpid(), 9)
+    if params.get("fail"):
+        raise RuntimeError(f"sleep job failed on request: {params.get('marker', '')}")
+    return {"slept": seconds, "marker": params.get("marker")}

@@ -1,0 +1,130 @@
+"""Campaign progress reporting: per-group status and live run logging."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.store import (
+    STATUS_COMPLETED,
+    STATUS_ERROR,
+    STATUS_TIMEOUT,
+    Record,
+    ResultStore,
+)
+
+
+@dataclass
+class GroupStatus:
+    """Latest-record tallies for one aggregation group."""
+
+    group: str
+    total: int = 0
+    completed: int = 0
+    timeouts: int = 0
+    errors: int = 0
+    missing: int = 0
+
+    @property
+    def done(self) -> bool:
+        return self.missing == 0
+
+
+@dataclass
+class CampaignStatus:
+    """Where a campaign stands: spec size vs latest store records."""
+
+    name: str
+    total: int = 0
+    completed: int = 0
+    timeouts: int = 0
+    errors: int = 0
+    missing: int = 0
+    groups: List[GroupStatus] = field(default_factory=list)
+
+    @property
+    def remaining(self) -> int:
+        """Jobs a plain ``resume`` would still run (missing cells only)."""
+        return self.missing
+
+    @property
+    def finished(self) -> bool:
+        return self.missing == 0
+
+
+def campaign_status(spec: CampaignSpec, store: ResultStore) -> CampaignStatus:
+    """Tally the latest record per job against the spec, overall and per group."""
+    status = CampaignStatus(name=spec.name, total=len(spec.jobs))
+    by_group: Dict[str, GroupStatus] = {}
+    for job in spec.jobs:
+        group = by_group.get(job.group)
+        if group is None:
+            group = by_group[job.group] = GroupStatus(group=job.group)
+            status.groups.append(group)
+        group.total += 1
+        record = store.record_for(job.key)
+        if record is None:
+            status.missing += 1
+            group.missing += 1
+            continue
+        state = record.get("status")
+        if state == STATUS_COMPLETED:
+            status.completed += 1
+            group.completed += 1
+        elif state == STATUS_TIMEOUT:
+            status.timeouts += 1
+            group.timeouts += 1
+        else:
+            status.errors += 1
+            group.errors += 1
+    return status
+
+
+def render_status(status: CampaignStatus) -> str:
+    """Human-readable status block (the ``campaign status`` CLI output)."""
+    lines = [
+        f"campaign  : {status.name}",
+        f"jobs      : {status.total}",
+        f"completed : {status.completed}",
+        f"timeouts  : {status.timeouts}",
+        f"errors    : {status.errors}",
+        f"remaining : {status.remaining}",
+    ]
+    if status.groups:
+        lines.append("per group :")
+        width = max(len(group.group or "-") for group in status.groups)
+        for group in status.groups:
+            name = (group.group or "-").ljust(width)
+            lines.append(
+                f"  {name}  {group.completed}/{group.total} completed"
+                + (f", {group.timeouts} timeout" if group.timeouts else "")
+                + (f", {group.errors} error" if group.errors else "")
+                + (f", {group.missing} remaining" if group.missing else "")
+            )
+    return "\n".join(lines)
+
+
+def _describe_record(record: Record) -> str:
+    params = record.get("params") or {}
+    label = record.get("kind", "?")
+    runtime = record.get("runtime_seconds")
+    runtime_text = f" in {runtime:.1f}s" if isinstance(runtime, (int, float)) else ""
+    detail = ""
+    if isinstance(params, dict):
+        parts = [str(params[k]) for k in ("benchmark", "attack", "label") if k in params]
+        if parts:
+            detail = f" {'/'.join(parts)}"
+    return f"{label}{detail} [{record.get('key', '?')}] {record.get('status')}{runtime_text}"
+
+
+def progress_printer(
+    log: Optional[Callable[[str], None]] = None,
+) -> Callable[[Record, int, int], None]:
+    """Build a ``run_campaign`` progress callback printing one line per job."""
+    emit = log or (lambda message: print(message, flush=True))
+
+    def _progress(record: Record, finished: int, pending_total: int) -> None:
+        emit(f"  [{finished}/{pending_total}] {_describe_record(record)}")
+
+    return _progress

@@ -1,0 +1,169 @@
+"""Append-only JSONL result store with an in-memory latest-wins index.
+
+Store layout (one directory per campaign)::
+
+    <store>/
+      manifest.json     # the CampaignSpec (name, metadata, ordered jobs)
+      results.jsonl     # one JSON record per finished job attempt
+
+``results.jsonl`` is strictly append-only: a re-run of a job (``--retry-
+failed``) appends a new record rather than rewriting history, and the index
+keeps the **latest** record per job key.  A record whose ``status`` is
+``"completed"`` carries the job's JSON payload; ``"error"`` and ``"timeout"``
+records carry the failure context instead.  Appends are flushed + fsynced per
+record so a killed run (crash, SIGKILL, CI timeout) loses at most the job in
+flight — the foundation of ``campaign resume``.
+
+``ResultStore(None)`` is an ephemeral in-memory store with the same API,
+used when a driver just wants the executor semantics without persistence.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Union
+
+from repro.campaign.spec import CampaignSpec, _jsonable
+
+MANIFEST_NAME = "manifest.json"
+RESULTS_NAME = "results.jsonl"
+
+#: Record statuses written by the executor.
+STATUS_COMPLETED = "completed"
+STATUS_ERROR = "error"
+STATUS_TIMEOUT = "timeout"
+STATUSES = (STATUS_COMPLETED, STATUS_ERROR, STATUS_TIMEOUT)
+
+Record = Dict[str, object]
+
+
+class ResultStore:
+    """JSONL-backed (or in-memory) record store for one campaign."""
+
+    def __init__(self, root: Union[str, Path, None]) -> None:
+        self.root: Optional[Path] = Path(root) if root is not None else None
+        self._records: List[Record] = []
+        self._index: Dict[str, Record] = {}
+        if self.root is not None and self.results_path.exists():
+            self._load()
+
+    # ------------------------------------------------------------------ paths
+    @property
+    def manifest_path(self) -> Path:
+        if self.root is None:
+            raise ValueError("in-memory store has no manifest path")
+        return self.root / MANIFEST_NAME
+
+    @property
+    def results_path(self) -> Path:
+        if self.root is None:
+            raise ValueError("in-memory store has no results path")
+        return self.root / RESULTS_NAME
+
+    @property
+    def persistent(self) -> bool:
+        return self.root is not None
+
+    # --------------------------------------------------------------- manifest
+    def has_manifest(self) -> bool:
+        return self.root is not None and self.manifest_path.exists()
+
+    def write_manifest(self, spec: CampaignSpec) -> None:
+        """Persist the spec so ``resume``/``status``/``report`` can rebuild it."""
+        if self.root is None:
+            return
+        self.root.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(spec.to_dict(), indent=2, sort_keys=False)
+        # Write-then-rename so a crash mid-write cannot truncate the manifest.
+        tmp = self.manifest_path.with_suffix(".json.tmp")
+        tmp.write_text(payload + "\n")
+        os.replace(tmp, self.manifest_path)
+
+    def read_manifest(self) -> CampaignSpec:
+        if not self.has_manifest():
+            raise FileNotFoundError(
+                f"no campaign manifest at {self.root}; run "
+                "`python -m repro campaign run --store ...` first"
+            )
+        return CampaignSpec.from_dict(json.loads(self.manifest_path.read_text()))
+
+    # ---------------------------------------------------------------- records
+    def _load(self) -> None:
+        self._records = []
+        self._index = {}
+        with self.results_path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    # A half-written trailing line from a killed run; every
+                    # complete record before it is still usable.
+                    continue
+                self._ingest(record)
+
+    def _ingest(self, record: Record) -> None:
+        self._records.append(record)
+        key = record.get("key")
+        if isinstance(key, str):
+            self._index[key] = record
+
+    def append(self, record: Record) -> Record:
+        """Append one finished-attempt record (latest record wins per key)."""
+        record = dict(record)
+        record.setdefault("finished_at", time.time())
+        record.setdefault(
+            "attempt",
+            sum(1 for r in self._records if r.get("key") == record.get("key")) + 1,
+        )
+        record = _jsonable(record)  # type: ignore[assignment]
+        if self.root is not None:
+            self.root.mkdir(parents=True, exist_ok=True)
+            with self.results_path.open("a", encoding="utf-8") as handle:
+                handle.write(json.dumps(record, sort_keys=False) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+        self._ingest(record)
+        return record
+
+    def record_for(self, key: str) -> Optional[Record]:
+        """Latest record for ``key`` (or None if the job never finished)."""
+        return self._index.get(key)
+
+    def load_index(self) -> Dict[str, Record]:
+        """Latest record per job key."""
+        return dict(self._index)
+
+    def __iter__(self) -> Iterator[Record]:
+        return iter(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    # ------------------------------------------------------------------ stats
+    def counts(self, spec: Optional[CampaignSpec] = None) -> Dict[str, int]:
+        """Latest-record status counts (restricted to ``spec``'s jobs if given).
+
+        Includes a ``"missing"`` bucket when a spec is supplied: jobs with no
+        record at all — the cells a resume still has to run.
+        """
+        counts = {status: 0 for status in STATUSES}
+        if spec is None:
+            for record in self._index.values():
+                status = str(record.get("status", STATUS_ERROR))
+                counts[status] = counts.get(status, 0) + 1
+            return counts
+        counts["missing"] = 0
+        for job in spec.jobs:
+            record = self._index.get(job.key)
+            if record is None:
+                counts["missing"] += 1
+            else:
+                status = str(record.get("status", STATUS_ERROR))
+                counts[status] = counts.get(status, 0) + 1
+        return counts

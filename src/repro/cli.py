@@ -6,16 +6,20 @@ Python:
 * ``lock``      — lock a ``.bench`` netlist with Cute-Lock-Str (or a baseline)
   and write the locked ``.bench`` plus the key schedule;
 * ``attack``    — run one of the attacks against a locked ``.bench`` netlist
-  given the oracle netlist;
+  given the oracle netlist (exit 0: defense held, 1: key recovered,
+  2: attack error);
 * ``overhead``  — report the 45 nm-model overhead of a locked netlist;
 * ``benchmarks`` — list the bundled benchmark suites and their parameters;
 * ``reproduce`` — regenerate the paper's evaluation (same as
-  ``examples/reproduce_paper.py``).
+  ``examples/reproduce_paper.py``);
+* ``campaign``  — run / resume / inspect a parallel experiment campaign
+  (``campaign run|status|resume|report``, see :mod:`repro.campaign`).
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import json
 import sys
 from pathlib import Path
@@ -51,6 +55,12 @@ _ATTACKS: Dict[str, Callable] = {
     "kc2": kc2_attack,
     "rane": rane_attack,
 }
+
+#: Grid names for ``campaign run --grid``.  Mirrors
+#: ``repro.experiments.campaigns.GRIDS`` (asserted equal by the tests) so
+#: building the parser never imports the experiments stack.
+_CAMPAIGN_GRIDS = ("full", "table1", "table2", "table3", "table4", "table5",
+                   "figure4", "smoke")
 
 
 def _cmd_lock(args: argparse.Namespace) -> int:
@@ -91,22 +101,45 @@ def _cmd_lock(args: argparse.Namespace) -> int:
     return 0
 
 
+def _emit_json(payload: Dict[str, object], destination: Optional[str]) -> None:
+    """Write ``payload`` to ``destination`` (``"-"`` = stdout)."""
+    text = json.dumps(payload, indent=2)
+    if destination == "-":
+        print(text)
+    else:
+        Path(destination).write_text(text)  # type: ignore[arg-type]
+        print(f"result written to {destination}")
+
+
 def _cmd_attack(args: argparse.Namespace) -> int:
-    locked = load_bench(args.locked)
-    oracle = load_bench(args.oracle)
+    """Run one attack.  Exit codes: 0 defense held, 1 key recovered, 2 error.
+
+    The machine-readable surface (``--json``, ``--engine``, the exit codes)
+    is shared with campaign workers and scripts: a crash inside the attack is
+    reported as structured output and exit code 2 instead of a traceback.
+    """
     attack = _ATTACKS[args.attack]
-    result = attack(locked, oracle, time_limit=args.time_limit)
+    kwargs: Dict[str, object] = {"time_limit": args.time_limit}
+    if "engine" in inspect.signature(attack).parameters:
+        kwargs["engine"] = args.engine
+    elif args.engine != "packed":
+        print(f"note: {args.attack} has no engine switch; --engine ignored",
+              file=sys.stderr)
+    try:
+        locked = load_bench(args.locked)
+        oracle = load_bench(args.oracle)
+        result = attack(locked, oracle, **kwargs)
+    except Exception as exc:
+        print(f"attack error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        if args.json:
+            _emit_json({
+                "attack": args.attack,
+                "error": f"{type(exc).__name__}: {exc}",
+            }, args.json)
+        return 2
     print(result.summary())
     if args.json:
-        payload = {
-            "attack": result.attack,
-            "outcome": result.outcome.value,
-            "iterations": result.iterations,
-            "runtime_seconds": result.runtime_seconds,
-            "key": result.key,
-        }
-        Path(args.json).write_text(json.dumps(payload, indent=2))
-        print(f"result written to {args.json}")
+        _emit_json(result.to_dict(), args.json)
     return 0 if not result.broke_defense else 1
 
 
@@ -145,8 +178,92 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
     from repro.experiments import run_all
 
     run_all(quick=not args.full, attack_time_limit=args.time_limit,
-            output_path=args.output)
+            output_path=args.output, workers=args.workers,
+            store_path=args.store, job_timeout=args.job_timeout)
     return 0
+
+
+def _campaign_spec(args: argparse.Namespace, store) -> "object":
+    """Resolve the campaign spec for one ``campaign`` subcommand.
+
+    ``run`` always builds the grid from its flags (``--grid``/``--full``/
+    ``--time-limit``/``--engine``) and persists it as the store's manifest —
+    so changed flags take effect instead of being silently shadowed by an
+    older manifest; cells unchanged by the flags keep their content-hashed
+    keys and are still skipped.  ``resume``/``status``/``report`` always use
+    the stored manifest.
+    """
+    if args.command_campaign == "run":
+        from repro.experiments.campaigns import build_campaign
+
+        return build_campaign(
+            args.grid or "full",
+            quick=not args.full,
+            attack_time_limit=args.time_limit,
+            engine=args.engine,
+        )
+    if store.has_manifest():
+        return store.read_manifest()
+    raise SystemExit(
+        f"no campaign manifest in {args.store}; start one with "
+        "`python -m repro campaign run --store ...`"
+    )
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.campaign import (
+        ResultStore,
+        campaign_status,
+        progress_printer,
+        render_status,
+        run_campaign,
+    )
+    from repro.experiments.campaigns import aggregate_campaign
+    from repro.experiments.runner import write_report
+
+    store = ResultStore(args.store)
+    spec = _campaign_spec(args, store)
+
+    if args.command_campaign in ("run", "resume"):
+        quiet = getattr(args, "quiet", False)
+        if not quiet:
+            mode = f"{args.workers} workers" if args.workers else "serial"
+            print(f"campaign {spec.name}: {len(spec.jobs)} jobs ({mode})", flush=True)
+        summary = run_campaign(
+            spec, store,
+            workers=args.workers,
+            job_timeout=args.job_timeout,
+            retry_failed=args.retry_failed,
+            progress=None if quiet else progress_printer(),
+        )
+        status = campaign_status(spec, store)
+        print(render_status(status))
+        if args.report:
+            tables = aggregate_campaign(spec, store)
+            write_report(tables, args.report, elapsed=summary.wall_seconds)
+            print(f"report written to {args.report}")
+        # Non-zero when the sweep is not clean, so CI and scripts can gate
+        # on a fully-completed campaign without parsing the status text.
+        return 0 if status.finished and not (status.errors or status.timeouts) else 1
+
+    if args.command_campaign == "status":
+        print(render_status(campaign_status(spec, store)))
+        return 0
+
+    if args.command_campaign == "report":
+        tables = aggregate_campaign(
+            spec, store, redact_runtimes=args.redact_runtimes
+        )
+        if args.output:
+            write_report(tables, args.output)
+            print(f"report written to {args.output}")
+        else:
+            for table in tables.values():
+                print(table.to_text())
+                print()
+        return 0
+
+    raise SystemExit(f"unknown campaign command {args.command_campaign!r}")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -165,12 +282,21 @@ def build_parser() -> argparse.ArgumentParser:
     lock.add_argument("--output")
     lock.set_defaults(func=_cmd_lock)
 
-    attack = sub.add_parser("attack", help="attack a locked .bench netlist")
+    attack = sub.add_parser(
+        "attack", help="attack a locked .bench netlist",
+        description="Exit codes: 0 = defense held, 1 = working key recovered, "
+                    "2 = attack error.")
     attack.add_argument("locked")
     attack.add_argument("oracle")
     attack.add_argument("--attack", default="sat", choices=sorted(_ATTACKS))
     attack.add_argument("--time-limit", type=float, default=60.0)
-    attack.add_argument("--json", help="write the result as JSON to this path")
+    attack.add_argument("--engine", default="packed", choices=["packed", "scalar"],
+                        help="packed = batched DIP/DIS harvesting (default); "
+                             "scalar = bit-exact legacy path")
+    attack.add_argument("--json", nargs="?", const="-", default=None,
+                        metavar="PATH",
+                        help="emit the full result as JSON (to PATH, or to "
+                             "stdout when no path is given)")
     attack.set_defaults(func=_cmd_attack)
 
     overhead = sub.add_parser("overhead", help="report 45nm-model cost of a netlist")
@@ -187,7 +313,80 @@ def build_parser() -> argparse.ArgumentParser:
     reproduce.add_argument("--full", action="store_true")
     reproduce.add_argument("--time-limit", type=float, default=20.0)
     reproduce.add_argument("--output", default="experiments_report.md")
+    reproduce.add_argument("--workers", type=int, default=0,
+                           help="worker processes (0 = serial in-process)")
+    reproduce.add_argument("--store", default=None,
+                           help="campaign store directory (enables resume)")
+    reproduce.add_argument("--job-timeout", type=float, default=None,
+                           help="per-cell wall-clock budget in seconds")
     reproduce.set_defaults(func=_cmd_reproduce)
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="run/resume/inspect a parallel experiment campaign",
+        description="Parallel, resumable experiment sweeps backed by an "
+                    "append-only JSONL store (see repro.campaign).")
+    campaign_sub = campaign.add_subparsers(dest="command_campaign", required=True)
+
+    def _store_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--store", required=True,
+                       help="campaign store directory (manifest + results.jsonl)")
+
+    def _exec_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--workers", type=int, default=0,
+                       help="worker processes (0 = serial in-process)")
+        p.add_argument("--job-timeout", type=float, default=None,
+                       help="per-job wall-clock budget in seconds")
+        p.add_argument("--retry-failed", action="store_true",
+                       help="re-run jobs whose latest row is error/timeout")
+        p.add_argument("--report", default=None,
+                       help="write the aggregated Markdown report here afterwards")
+        p.add_argument("--quiet", action="store_true",
+                       help="suppress per-job progress lines")
+
+    campaign_run = campaign_sub.add_parser(
+        "run", help="start (or continue) a campaign",
+        description="Builds the grid from the flags below, (re)writes the "
+                    "store's manifest, and runs it; cells whose content-"
+                    "hashed key already has a completed row are skipped.  "
+                    "Exit 0 only when every job completed cleanly.  Use "
+                    "'resume' to continue the stored grid as-is.")
+    _store_arg(campaign_run)
+    campaign_run.add_argument("--grid", default=None, choices=list(_CAMPAIGN_GRIDS),
+                              help="which grid to run (default: full)")
+    campaign_run.add_argument("--full", action="store_true",
+                              help="paper-sized benchmark lists instead of the "
+                                   "quick subsets")
+    campaign_run.add_argument("--time-limit", type=float, default=20.0,
+                              help="per-attack time budget in seconds")
+    campaign_run.add_argument("--engine", default="packed",
+                              choices=["packed", "scalar"])
+    _exec_args(campaign_run)
+    campaign_run.set_defaults(func=_cmd_campaign)
+
+    campaign_resume = campaign_sub.add_parser(
+        "resume", help="finish the missing cells of a stored campaign",
+        description="Re-reads the store's manifest and runs only jobs without "
+                    "a completed row (add --retry-failed to also re-run "
+                    "error/timeout rows).")
+    _store_arg(campaign_resume)
+    _exec_args(campaign_resume)
+    campaign_resume.set_defaults(func=_cmd_campaign)
+
+    campaign_status_p = campaign_sub.add_parser(
+        "status", help="show completed/timeout/error/remaining counts")
+    _store_arg(campaign_status_p)
+    campaign_status_p.set_defaults(func=_cmd_campaign)
+
+    campaign_report = campaign_sub.add_parser(
+        "report", help="aggregate stored results into the Markdown report")
+    _store_arg(campaign_report)
+    campaign_report.add_argument("--output", default=None,
+                                 help="report path (default: print to stdout)")
+    campaign_report.add_argument("--redact-runtimes", action="store_true",
+                                 help="blank the wall-clock columns (stable "
+                                      "output for diffs)")
+    campaign_report.set_defaults(func=_cmd_campaign)
     return parser
 
 

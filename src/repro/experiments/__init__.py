@@ -9,6 +9,7 @@ budgets so the whole evaluation runs on a laptop in minutes; ``quick=False``
 sweeps every benchmark listed in the paper's tables.
 """
 
+from repro.experiments.campaigns import aggregate_campaign, build_campaign
 from repro.experiments.report import ExperimentTable, format_table
 from repro.experiments.table1 import run_table1
 from repro.experiments.table2 import run_table2
@@ -20,6 +21,8 @@ from repro.experiments.runner import run_all
 
 __all__ = [
     "ExperimentTable",
+    "aggregate_campaign",
+    "build_campaign",
     "format_table",
     "run_table1",
     "run_table2",

@@ -12,15 +12,23 @@ The qualitative findings to reproduce: relative overhead shrinks as circuits
 grow, and on the small/medium benchmarks Test Runs 1–2 undercut the DK-Lock
 average.  This driver costs every configuration with the generic 45 nm model
 (:mod:`repro.synthesis`) and reports one row per benchmark and metric.
+
+The sweep is a :mod:`repro.campaign` grid with one job per (benchmark,
+configuration) cell — ``Original``, the three Cute-Lock-Str test runs and
+the two DK-Lock baselines — declared by :func:`figure4_jobs`, costed by
+:func:`run_figure4_cell` and folded into the four metric tables by
+:func:`aggregate_figure4`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
-from repro.benchmarks_data.itc99 import ITC99_PROFILES, itc99_names, load_itc99
+from repro.benchmarks_data.itc99 import itc99_names, load_itc99
+from repro.campaign.executor import run_campaign
+from repro.campaign.spec import CampaignSpec, JobSpec
+from repro.campaign.store import STATUS_COMPLETED, Record, ResultStore
 from repro.experiments.report import ExperimentTable
-from repro.locking.base import LockedCircuit
 from repro.locking.baselines.dklock import lock_dklock
 from repro.locking.cutelock_str import CuteLockStr
 from repro.synthesis.overhead import CircuitCost, analyze_circuit, compare_overhead
@@ -39,6 +47,13 @@ METRICS = {
 #: Cap on key widths so Test Run 1 (ki = n) stays reasonable on wide designs.
 MAX_KEY_WIDTH = 16
 
+#: Column order of every metric table (= the per-benchmark configurations;
+#: "DK-Lock avg" is derived at aggregation time).
+CONFIGURATIONS = (
+    "Original", "Test Run 1", "Test Run 2", "Test Run 3",
+    "DK-Lock 10b", "DK-Lock nb",
+)
+
 
 def _cute_lock_configurations(num_inputs: int) -> Dict[str, Tuple[int, int]]:
     """(k, ki) per paper test run, given the benchmark's input count."""
@@ -49,20 +64,88 @@ def _cute_lock_configurations(num_inputs: int) -> Dict[str, Tuple[int, int]]:
     }
 
 
-def run_figure4(
+def figure4_jobs(
     *,
     quick: bool = True,
     benchmarks: Optional[Sequence[str]] = None,
     activity_vectors: int = 32,
     seed: int = 6,
-) -> Tuple[Dict[str, ExperimentTable], Dict[str, Dict[str, object]]]:
-    """Regenerate Figure 4.
-
-    Returns one :class:`ExperimentTable` per metric (keyed by the metric
-    field name) plus the raw cost objects.
-    """
+) -> List[JobSpec]:
+    """Declare the Figure 4 grid: one job per (benchmark, configuration)."""
     if benchmarks is None:
         benchmarks = QUICK_BENCHMARKS if quick else itc99_names()
+    return [
+        JobSpec(
+            kind="figure4_cell",
+            group="figure4",
+            params={
+                "benchmark": name,
+                "label": label,
+                "activity_vectors": activity_vectors,
+                "seed": seed,
+            },
+        )
+        for name in benchmarks
+        for label in CONFIGURATIONS
+    ]
+
+
+def run_figure4_cell(params: Mapping[str, object]) -> Dict[str, object]:
+    """Cost one (benchmark, configuration) cell with the 45 nm model.
+
+    The configuration's (k, ki) — or the DK-Lock key width — is re-derived
+    from the benchmark's input count inside the worker, exactly as the
+    original serial driver did.
+    """
+    name = str(params["benchmark"])
+    label = str(params["label"])
+    activity_vectors = int(params.get("activity_vectors", 32))  # type: ignore[arg-type]
+    seed = int(params.get("seed", 6))  # type: ignore[arg-type]
+    generated = load_itc99(name)
+    circuit = generated.circuit
+    num_inputs = len(circuit.inputs)
+
+    if label == "Original":
+        cost = analyze_circuit(circuit, activity_vectors=activity_vectors, seed=seed)
+    elif label in _cute_lock_configurations(num_inputs):
+        num_keys, key_width = _cute_lock_configurations(num_inputs)[label]
+        locked = CuteLockStr(
+            num_keys=num_keys,
+            key_width=key_width,
+            num_locked_ffs=min(2, len(circuit.dffs)),
+            seed=seed,
+        ).lock(circuit)
+        cost = compare_overhead(
+            locked, activity_vectors=activity_vectors, seed=seed
+        ).locked
+    elif label in ("DK-Lock 10b", "DK-Lock nb"):
+        width = 10 if label == "DK-Lock 10b" else max(1, min(num_inputs, MAX_KEY_WIDTH))
+        locked = lock_dklock(circuit, key_width=width, seed=seed)
+        cost = compare_overhead(
+            locked, activity_vectors=activity_vectors, seed=seed
+        ).locked
+    else:
+        raise ValueError(f"unknown Figure 4 configuration {label!r}")
+    return {"circuit": name, "label": label, "cost": cost.to_dict()}
+
+
+def aggregate_figure4(
+    jobs: Sequence[JobSpec],
+    records: Mapping[str, Record],
+) -> Tuple[Dict[str, ExperimentTable], Dict[str, Dict[str, object]]]:
+    """Fold completed cell payloads into the four per-metric tables.
+
+    A benchmark is emitted only when all six of its configuration cells
+    completed (a partial bar chart row is meaningless); the raw dict maps
+    each emitted benchmark to its reconstructed ``CircuitCost`` objects.
+    """
+    benchmarks: List[str] = []
+    cells: Dict[Tuple[str, str], JobSpec] = {}
+    for job in jobs:
+        name = str(job.params["benchmark"])
+        if name not in benchmarks:
+            benchmarks.append(name)
+        cells[(name, str(job.params["label"]))] = job
 
     tables = {
         metric: ExperimentTable(
@@ -76,37 +159,17 @@ def run_figure4(
     raw: Dict[str, Dict[str, object]] = {}
 
     for name in benchmarks:
-        generated = load_itc99(name)
-        circuit = generated.circuit
-        num_inputs = len(circuit.inputs)
-
-        costs: Dict[str, CircuitCost] = {
-            "Original": analyze_circuit(circuit, activity_vectors=activity_vectors, seed=seed)
-        }
-        locked_variants: Dict[str, LockedCircuit] = {}
-
-        for label, (num_keys, key_width) in _cute_lock_configurations(num_inputs).items():
-            locked = CuteLockStr(
-                num_keys=num_keys,
-                key_width=key_width,
-                num_locked_ffs=min(2, len(circuit.dffs)),
-                seed=seed,
-            ).lock(circuit)
-            locked_variants[label] = locked
-            costs[label] = compare_overhead(
-                locked, activity_vectors=activity_vectors, seed=seed
-            ).locked
-
-        dk_widths = {"DK-Lock 10b": 10, "DK-Lock nb": max(1, min(num_inputs, MAX_KEY_WIDTH))}
-        for label, width in dk_widths.items():
-            locked = lock_dklock(circuit, key_width=width, seed=seed)
-            locked_variants[label] = locked
-            costs[label] = compare_overhead(
-                locked, activity_vectors=activity_vectors, seed=seed
-            ).locked
-
-        raw[name] = {"costs": costs, "locked": locked_variants}
-
+        costs: Dict[str, CircuitCost] = {}
+        for label in CONFIGURATIONS:
+            job = cells.get((name, label))
+            record = records.get(job.key) if job is not None else None
+            if record is None or record.get("status") != STATUS_COMPLETED:
+                break
+            payload = record.get("payload") or {}
+            costs[label] = CircuitCost.from_dict(payload["cost"])  # type: ignore[index]
+        if len(costs) != len(CONFIGURATIONS):
+            continue  # at least one cell missing/failed: skip the benchmark row
+        raw[name] = {"costs": costs}
         for metric in METRICS:
             values = {label: getattr(cost, metric) for label, cost in costs.items()}
             dk_avg = (values["DK-Lock 10b"] + values["DK-Lock nb"]) / 2
@@ -131,6 +194,36 @@ def run_figure4(
             f"{shrinking}"
         )
     return tables, raw
+
+
+def run_figure4(
+    *,
+    quick: bool = True,
+    benchmarks: Optional[Sequence[str]] = None,
+    activity_vectors: int = 32,
+    seed: int = 6,
+    workers: int = 0,
+    store: Union[ResultStore, str, None] = None,
+    job_timeout: Optional[float] = None,
+) -> Tuple[Dict[str, ExperimentTable], Dict[str, Dict[str, object]]]:
+    """Regenerate Figure 4.
+
+    Returns one :class:`ExperimentTable` per metric (keyed by the metric
+    field name) plus the raw per-benchmark ``CircuitCost`` objects.  See
+    :func:`~repro.experiments.table3.run_table3` for the campaign execution
+    parameters (``workers`` / ``store`` / ``job_timeout``).
+    """
+    jobs = figure4_jobs(
+        quick=quick, benchmarks=benchmarks,
+        activity_vectors=activity_vectors, seed=seed,
+    )
+    spec = CampaignSpec(name="figure4", jobs=jobs)
+    result_store = store if isinstance(store, ResultStore) else ResultStore(store)
+    run_campaign(spec, result_store, workers=workers, job_timeout=job_timeout,
+                 # A driver call is a slice of the evaluation: never clobber a
+                 # manifest that may describe a larger CLI-managed campaign.
+                 write_manifest=False)
+    return aggregate_figure4(jobs, result_store.load_index())
 
 
 def _relative_overhead_shrinks(table: ExperimentTable) -> bool:

@@ -62,3 +62,23 @@ class ExperimentTable:
 
     def column(self, name: str) -> List[object]:
         return [row.get(name) for row in self.rows]
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form (rows are already plain str/int/float)."""
+        return {
+            "name": self.name,
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [dict(row) for row in self.rows],
+            "notes": list(self.notes),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ExperimentTable":
+        return cls(
+            name=str(data["name"]),
+            title=str(data["title"]),
+            columns=list(data.get("columns", [])),  # type: ignore[arg-type]
+            rows=[dict(row) for row in data.get("rows", [])],  # type: ignore[union-attr]
+            notes=list(data.get("notes", [])),  # type: ignore[arg-type]
+        )

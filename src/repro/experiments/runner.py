@@ -3,6 +3,15 @@
 ``python -m repro.experiments.runner`` regenerates the full evaluation
 (quick mode by default) and writes a Markdown report; the same entry point is
 used by ``examples/reproduce_paper.py`` and by the integration tests.
+
+Since the :mod:`repro.campaign` refactor the sweep is declared as one
+campaign grid (every table/figure cell is an independent job, see
+:mod:`repro.experiments.campaigns`) and executed through the campaign
+executor: ``workers=N`` fans the cells out over N worker processes,
+``store_path`` persists per-cell results so a crashed or killed sweep can be
+resumed, and ``job_timeout`` turns a runaway cell into a ``timeout`` row
+instead of a lost evening.  The default (``workers=0``, no store) reproduces
+the historical serial in-process behaviour — same tables, same return value.
 """
 
 from __future__ import annotations
@@ -11,15 +20,13 @@ import argparse
 import sys
 import time
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
-from repro.experiments.figure4 import run_figure4
+from repro.campaign.executor import run_campaign
+from repro.campaign.progress import campaign_status, progress_printer, render_status
+from repro.campaign.store import ResultStore
+from repro.experiments.campaigns import aggregate_campaign, build_campaign
 from repro.experiments.report import ExperimentTable
-from repro.experiments.table1 import run_table1
-from repro.experiments.table2 import run_table2
-from repro.experiments.table3 import run_table3
-from repro.experiments.table4 import run_table4
-from repro.experiments.table5 import run_table5
 
 
 def run_all(
@@ -28,45 +35,48 @@ def run_all(
     attack_time_limit: float = 20.0,
     output_path: Optional[str] = None,
     verbose: bool = True,
+    workers: int = 0,
+    store_path: Optional[str] = None,
+    job_timeout: Optional[float] = None,
+    engine: str = "packed",
 ) -> Dict[str, ExperimentTable]:
     """Run every table/figure driver and return the tables by name.
 
     ``quick=True`` (default) runs the representative benchmark subsets; the
     full sweep (``quick=False``) covers every benchmark named in the paper
-    and can take hours with the pure-Python SAT back-end.
+    and can take hours with the pure-Python SAT back-end — which is exactly
+    when ``workers``/``store_path`` pay off: cells run in parallel, finished
+    cells are never recomputed, and a rerun with the same ``store_path``
+    resumes instead of restarting.
     """
-    tables: Dict[str, ExperimentTable] = {}
 
     def log(message: str) -> None:
         if verbose:
             print(message, flush=True)
 
     start = time.monotonic()
-    log("[1/6] Table I   — Cute-Lock-Beh validation")
-    table1, _ = run_table1()
-    tables["table1"] = table1
+    spec = build_campaign(
+        "full", quick=quick, attack_time_limit=attack_time_limit, engine=engine
+    )
+    store = ResultStore(store_path)
+    log(
+        f"campaign {spec.name}: {len(spec.jobs)} jobs across groups "
+        f"{', '.join(spec.groups())}"
+        + (f" ({workers} workers)" if workers else " (serial)")
+    )
+    summary = run_campaign(
+        spec,
+        store,
+        workers=workers,
+        job_timeout=job_timeout,
+        progress=progress_printer(log) if verbose else None,
+    )
+    if summary.skipped:
+        log(f"resumed: {summary.skipped} cells already complete were skipped")
+    if summary.timeouts or summary.errors:
+        log(render_status(campaign_status(spec, store)))
 
-    log("[2/6] Table II  — Cute-Lock-Str validation")
-    table2, _ = run_table2()
-    tables["table2"] = table2
-
-    log("[3/6] Table III — Cute-Lock-Beh vs logic attacks")
-    table3, _ = run_table3(quick=quick, time_limit=attack_time_limit)
-    tables["table3"] = table3
-
-    log("[4/6] Table IV  — Cute-Lock-Str vs logic attacks")
-    table4, _ = run_table4(quick=quick, time_limit=attack_time_limit)
-    tables["table4"] = table4
-
-    log("[5/6] Table V   — Cute-Lock-Str vs removal attacks")
-    table5, _ = run_table5(quick=quick)
-    tables["table5"] = table5
-
-    log("[6/6] Figure 4  — overhead comparison vs DK-Lock")
-    figure_tables, _ = run_figure4(quick=quick)
-    for metric, table in figure_tables.items():
-        tables[f"figure4_{metric}"] = table
-
+    tables = aggregate_campaign(spec, store)
     elapsed = time.monotonic() - start
     log(f"done in {elapsed:.1f}s")
 
@@ -100,8 +110,16 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="per-attack time budget in seconds")
     parser.add_argument("--output", default="experiments_report.md",
                         help="path of the Markdown report to write")
+    parser.add_argument("--workers", type=int, default=0,
+                        help="worker processes (0 = serial in-process)")
+    parser.add_argument("--store", default=None,
+                        help="campaign store directory (enables resume)")
+    parser.add_argument("--job-timeout", type=float, default=None,
+                        help="per-cell wall-clock budget in seconds")
     args = parser.parse_args(argv)
-    run_all(quick=not args.full, attack_time_limit=args.time_limit, output_path=args.output)
+    run_all(quick=not args.full, attack_time_limit=args.time_limit,
+            output_path=args.output, workers=args.workers,
+            store_path=args.store, job_timeout=args.job_timeout)
     return 0
 
 

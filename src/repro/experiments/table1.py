@@ -98,3 +98,46 @@ def run_table1(
         "vectors": vectors,
     }
     return table, artefacts
+
+
+def table1_jobs(
+    *,
+    benchmark: str = "bcomp",
+    num_cycles: int = 16,
+    seed: int = 1,
+    synthesis_style: str = "auto",
+) -> List["JobSpec"]:
+    """Declare Table I as a (single-cell) campaign grid."""
+    from repro.campaign.spec import JobSpec
+
+    return [
+        JobSpec(
+            kind="table1",
+            group="table1",
+            params={
+                "benchmark": benchmark,
+                "num_cycles": num_cycles,
+                "seed": seed,
+                "synthesis_style": synthesis_style,
+            },
+        )
+    ]
+
+
+def run_table1_cell(params: Dict[str, object]) -> Dict[str, object]:
+    """Campaign worker: run Table I and ship the table + verdicts as JSON.
+
+    The circuit/waveform artefacts stay in the worker — only the rendered
+    table and the two validation booleans travel through the result store.
+    """
+    table, artefacts = run_table1(
+        benchmark=str(params.get("benchmark", "bcomp")),
+        num_cycles=int(params.get("num_cycles", 16)),  # type: ignore[arg-type]
+        seed=int(params.get("seed", 1)),  # type: ignore[arg-type]
+        synthesis_style=str(params.get("synthesis_style", "auto")),
+    )
+    return {
+        "table": table.to_dict(),
+        "matches_correct": bool(artefacts["matches_correct"]),
+        "diverges_wrong": bool(artefacts["diverges_wrong"]),
+    }

@@ -10,7 +10,7 @@ netlist.
 from __future__ import annotations
 
 import random
-from typing import Dict, Tuple
+from typing import Dict, List, Tuple
 
 from repro.benchmarks_data.iscas89 import s27_circuit
 from repro.experiments.report import ExperimentTable
@@ -87,3 +87,39 @@ def run_table2(
         "vectors": vectors,
     }
     return table, artefacts
+
+
+def table2_jobs(
+    *,
+    num_cycles: int = 15,
+    seed: int = 2,
+    num_locked_ffs: int = 1,
+) -> List["JobSpec"]:
+    """Declare Table II as a (single-cell) campaign grid."""
+    from repro.campaign.spec import JobSpec
+
+    return [
+        JobSpec(
+            kind="table2",
+            group="table2",
+            params={
+                "num_cycles": num_cycles,
+                "seed": seed,
+                "num_locked_ffs": num_locked_ffs,
+            },
+        )
+    ]
+
+
+def run_table2_cell(params: Dict[str, object]) -> Dict[str, object]:
+    """Campaign worker: run Table II and ship the table + verdicts as JSON."""
+    table, artefacts = run_table2(
+        num_cycles=int(params.get("num_cycles", 15)),  # type: ignore[arg-type]
+        seed=int(params.get("seed", 2)),  # type: ignore[arg-type]
+        num_locked_ffs=int(params.get("num_locked_ffs", 1)),  # type: ignore[arg-type]
+    )
+    return {
+        "table": table.to_dict(),
+        "matches_correct": bool(artefacts["matches_correct"]),
+        "diverges_wrong": bool(artefacts["diverges_wrong"]),
+    }

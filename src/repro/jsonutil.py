@@ -1,0 +1,22 @@
+"""Shared JSON coercion for result records that cross process boundaries.
+
+Campaign workers ship attack results, reports and table payloads to the
+result store as JSON; the one policy used everywhere is "round-trip through
+JSON, stringifying anything JSON cannot represent" — values are coerced, not
+dropped, so context (solver objects, counterexample containers, ...) is
+never silently lost.
+"""
+
+from __future__ import annotations
+
+import json
+
+
+def jsonable(value: object) -> object:
+    """Coerce ``value`` into plain JSON types (str/int/float/bool/list/dict).
+
+    Non-JSON values are rendered with ``str()`` rather than rejected, and
+    containers are rebuilt recursively by the round trip (tuples become
+    lists, mapping keys become strings).
+    """
+    return json.loads(json.dumps(value, default=str))

@@ -43,6 +43,32 @@ class CircuitCost:
             "io_count": self.io_count,
         }
 
+    def to_dict(self) -> Dict[str, object]:
+        """Full JSON-serialisable form (campaign workers ship costs as JSON)."""
+        return {
+            "name": self.name,
+            "power_uw": self.power_uw,
+            "area_um2": self.area_um2,
+            "cell_count": self.cell_count,
+            "io_count": self.io_count,
+            "leakage_uw": self.leakage_uw,
+            "dynamic_uw": self.dynamic_uw,
+            "num_dffs": self.num_dffs,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "CircuitCost":
+        return cls(
+            name=str(data["name"]),
+            power_uw=float(data["power_uw"]),  # type: ignore[arg-type]
+            area_um2=float(data["area_um2"]),  # type: ignore[arg-type]
+            cell_count=int(data["cell_count"]),  # type: ignore[arg-type]
+            io_count=int(data["io_count"]),  # type: ignore[arg-type]
+            leakage_uw=float(data.get("leakage_uw", 0.0)),  # type: ignore[arg-type]
+            dynamic_uw=float(data.get("dynamic_uw", 0.0)),  # type: ignore[arg-type]
+            num_dffs=int(data.get("num_dffs", 0)),  # type: ignore[arg-type]
+        )
+
 
 @dataclass(frozen=True)
 class OverheadReport:

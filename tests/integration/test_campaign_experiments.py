@@ -1,0 +1,167 @@
+"""Integration tests: experiment grids through the campaign orchestrator.
+
+Covers the acceptance semantics of the campaign subsystem: parallel and
+serial sweeps aggregate to byte-identical tables (modulo the wall-clock
+columns, which are redacted for the comparison), resume completes only the
+missing cells, a per-job timeout yields a ``timeout`` row without aborting
+the sweep, and the ``python -m repro campaign`` CLI drives the whole
+run / status / resume / report cycle.
+"""
+
+import json
+
+import pytest
+
+from repro.campaign import CampaignSpec, JobSpec, ResultStore, run_campaign
+from repro.cli import main as cli_main
+from repro.experiments.campaigns import aggregate_campaign, build_campaign
+from repro.experiments.table3 import aggregate_table3, run_table3, table3_jobs
+
+#: One cheap benchmark x two attack modes: small enough for CI, wide enough
+#: to exercise multi-cell aggregation.  The generous time limit keeps both
+#: cells far from the budget boundary, which is what makes the outcomes —
+#: and therefore the aggregated tables — deterministic across engines and
+#: worker counts.
+GRID = dict(benchmarks=["bcomp"], attacks=["INT", "KC2"], time_limit=60.0)
+
+
+class TestParallelSerialEquivalence:
+    def test_parallel_and_serial_table3_are_byte_identical(self):
+        jobs = table3_jobs(**GRID)
+        serial_store = ResultStore(None)
+        run_campaign(CampaignSpec(name="s", jobs=jobs), serial_store, workers=0)
+        parallel_store = ResultStore(None)
+        run_campaign(CampaignSpec(name="p", jobs=jobs), parallel_store, workers=2)
+
+        serial_table, serial_raw = aggregate_table3(
+            jobs, serial_store.load_index(), redact_runtimes=True
+        )
+        parallel_table, parallel_raw = aggregate_table3(
+            jobs, parallel_store.load_index(), redact_runtimes=True
+        )
+        assert serial_table.to_text() == parallel_table.to_text()
+        # Beyond the rendered table: outcomes, keys and iteration counts of
+        # every cell agree (runtime is the only nondeterministic field).
+        for name in serial_raw:
+            for left, right in zip(serial_raw[name], parallel_raw[name]):
+                assert left.outcome == right.outcome
+                assert left.key == right.key
+                assert left.iterations == right.iterations
+
+    def test_run_table3_matches_explicit_campaign_execution(self):
+        table_direct, _ = run_table3(**GRID)
+        jobs = table3_jobs(**GRID)
+        store = ResultStore(None)
+        run_campaign(CampaignSpec(name="c", jobs=jobs), store, workers=0)
+        table_campaign, _ = aggregate_table3(jobs, store.load_index())
+        assert [
+            {k: v for k, v in row.items() if "time" not in k}
+            for row in table_direct.rows
+        ] == [
+            {k: v for k, v in row.items() if "time" not in k}
+            for row in table_campaign.rows
+        ]
+
+
+class TestResume:
+    def test_resume_completes_only_missing_cells(self, tmp_path):
+        store_dir = tmp_path / "store"
+        first = table3_jobs(benchmarks=["bcomp"], attacks=["INT"], time_limit=60.0)
+        run_campaign(CampaignSpec(name="t3", jobs=first),
+                     ResultStore(store_dir), workers=0)
+
+        jobs = table3_jobs(**GRID)
+        store = ResultStore(store_dir)
+        summary = run_campaign(CampaignSpec(name="t3", jobs=jobs), store, workers=0)
+        # The INT cell was satisfied by the first run's record.
+        assert summary.skipped == 1
+        assert summary.executed == 1
+        table, raw = aggregate_table3(jobs, store.load_index())
+        assert table.rows[0]["INT outcome"] != "fail"
+        assert table.rows[0]["KC2 outcome"] != "fail"
+        assert not any(r.broke_defense for rs in raw.values() for r in rs)
+
+
+class TestTimeoutIsolation:
+    def test_job_timeout_yields_timeout_row_without_aborting(self, tmp_path):
+        jobs = [
+            JobSpec(kind="sleep", group="sleep", params={"seconds": 30.0}),
+        ] + table3_jobs(benchmarks=["bcomp"], attacks=["INT"], time_limit=60.0)
+        spec = CampaignSpec(name="mixed", jobs=jobs)
+        store = ResultStore(tmp_path / "store")
+        summary = run_campaign(spec, store, workers=2, job_timeout=3.0)
+        assert summary.timeouts == 1
+        assert summary.completed == 1
+        assert store.record_for(jobs[0].key)["status"] == "timeout"
+        # The surviving real cell still aggregates into a correct table row.
+        table, _ = aggregate_table3(jobs[1:], store.load_index())
+        assert table.rows[0]["INT outcome"] not in ("fail", "timeout")
+
+    def test_timed_out_cell_renders_as_timeout_outcome(self, tmp_path):
+        jobs = table3_jobs(benchmarks=["bcomp"], attacks=["INT"], time_limit=60.0)
+        store = ResultStore(tmp_path / "store")
+        # A 50 ms budget cannot even load the benchmark: the job times out.
+        summary = run_campaign(CampaignSpec(name="t3", jobs=jobs), store,
+                               workers=0, job_timeout=0.05)
+        assert summary.timeouts == 1
+        table, raw = aggregate_table3(jobs, store.load_index())
+        assert table.rows[0]["INT outcome"] == "timeout"
+        assert raw["bcomp"][0].details["campaign_status"] == "timeout"
+
+
+class TestCampaignCli:
+    def test_run_status_resume_report_cycle(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        fast = ["--time-limit", "30"]
+        assert cli_main(["campaign", "run", "--store", str(store),
+                         "--grid", "smoke", "--workers", "2", "--quiet"] + fast) == 0
+        out = capsys.readouterr().out
+        assert "remaining : 0" in out
+
+        assert cli_main(["campaign", "status", "--store", str(store)]) == 0
+        assert "completed : 7" in capsys.readouterr().out
+
+        # Resume on a finished store is a no-op and still exits 0.
+        assert cli_main(["campaign", "resume", "--store", str(store),
+                         "--quiet"]) == 0
+        capsys.readouterr()
+
+        report = tmp_path / "report.md"
+        assert cli_main(["campaign", "report", "--store", str(store),
+                         "--output", str(report)]) == 0
+        capsys.readouterr()
+        assert "Table III" in report.read_text()
+
+    def test_status_without_manifest_fails_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit, match="no campaign manifest"):
+            cli_main(["campaign", "status", "--store", str(tmp_path / "empty")])
+
+    def test_unclean_campaign_exits_nonzero(self, tmp_path, capsys):
+        # Pre-build a manifest whose only job fails, then run it via the CLI.
+        store_dir = tmp_path / "store"
+        spec = CampaignSpec(name="bad", jobs=[
+            JobSpec(kind="sleep", group="sleep", params={"fail": True}),
+        ])
+        ResultStore(store_dir).write_manifest(spec)
+        assert cli_main(["campaign", "resume", "--store", str(store_dir),
+                         "--quiet"]) == 1
+        capsys.readouterr()
+
+
+class TestFullGridAggregation:
+    def test_partial_store_aggregates_available_groups(self, tmp_path):
+        spec = build_campaign("smoke", attack_time_limit=60.0)
+        store = ResultStore(tmp_path / "store")
+        run_campaign(spec, store, workers=0)
+        tables = aggregate_campaign(spec, store)
+        # The sleep filler group has no aggregator; table3 does.
+        assert set(tables) == {"table3"}
+        assert tables["table3"].rows[0]["Circuit"] == "bcomp"
+
+    def test_manifest_json_round_trip_preserves_job_keys(self, tmp_path):
+        spec = build_campaign("smoke")
+        store = ResultStore(tmp_path / "store")
+        store.write_manifest(spec)
+        text = (tmp_path / "store" / "manifest.json").read_text()
+        rebuilt = CampaignSpec.from_dict(json.loads(text))
+        assert [j.key for j in rebuilt.jobs] == [j.key for j in spec.jobs]

@@ -1,0 +1,330 @@
+"""Unit tests for the campaign subsystem: specs, store, executor, progress."""
+
+import json
+
+import pytest
+
+from repro.campaign import (
+    CampaignSpec,
+    JobSpec,
+    ResultStore,
+    campaign_status,
+    execute_job_attempt,
+    job_key,
+    register_job_kind,
+    render_status,
+    resolve_job_kind,
+    run_campaign,
+)
+from repro.campaign.jobs import sleep_job
+from repro.experiments.campaigns import build_campaign
+
+
+def sleep_jobs(count, **params):
+    return [
+        JobSpec(kind="sleep", group="sleep", params={"marker": i, **params})
+        for i in range(count)
+    ]
+
+
+class TestJobKeys:
+    def test_key_is_stable_and_param_order_insensitive(self):
+        a = job_key("k", {"x": 1, "y": [1, 2]})
+        b = job_key("k", {"y": [1, 2], "x": 1})
+        assert a == b
+        assert len(a) == 16
+
+    def test_key_distinguishes_kind_and_params(self):
+        base = job_key("k", {"x": 1})
+        assert job_key("k2", {"x": 1}) != base
+        assert job_key("k", {"x": 2}) != base
+
+    def test_jobspec_normalises_tuples_like_manifest_round_trip(self):
+        job = JobSpec(kind="k", params={"benchmarks": ("a", "b")})
+        rebuilt = JobSpec.from_dict(json.loads(json.dumps(job.to_dict())))
+        assert rebuilt.key == job.key
+        assert rebuilt.params == {"benchmarks": ["a", "b"]}
+
+    def test_manifest_key_mismatch_is_rejected(self):
+        data = JobSpec(kind="k", params={"x": 1}).to_dict()
+        data["key"] = "0" * 16
+        with pytest.raises(ValueError, match="does not match"):
+            JobSpec.from_dict(data)
+
+
+class TestCampaignSpec:
+    def test_duplicate_jobs_rejected(self):
+        job = JobSpec(kind="sleep", params={"marker": 1})
+        with pytest.raises(ValueError, match="duplicate job"):
+            CampaignSpec(name="c", jobs=[job, JobSpec(kind="sleep", params={"marker": 1})])
+
+    def test_groups_order_and_lookup(self):
+        spec = CampaignSpec(name="c", jobs=[
+            JobSpec(kind="sleep", group="b", params={"marker": 1}),
+            JobSpec(kind="sleep", group="a", params={"marker": 2}),
+            JobSpec(kind="sleep", group="b", params={"marker": 3}),
+        ])
+        assert spec.groups() == ["b", "a"]
+        assert len(spec.jobs_in_group("b")) == 2
+        assert spec.job_for(spec.jobs[1].key) is spec.jobs[1]
+
+    def test_spec_serialisation_round_trip(self):
+        spec = CampaignSpec(name="c", jobs=sleep_jobs(3), metadata={"grid": "t"})
+        rebuilt = CampaignSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert rebuilt.name == spec.name
+        assert rebuilt.metadata["grid"] == "t"
+        assert [j.key for j in rebuilt.jobs] == [j.key for j in spec.jobs]
+
+
+class TestResultStore:
+    def test_append_indexes_latest_record_per_key(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.append({"key": "k1", "status": "error"})
+        store.append({"key": "k1", "status": "completed"})
+        record = store.record_for("k1")
+        assert record["status"] == "completed"
+        assert record["attempt"] == 2
+        assert len(store) == 2
+
+    def test_store_reloads_from_disk(self, tmp_path):
+        root = tmp_path / "store"
+        ResultStore(root).append({"key": "k1", "status": "completed", "payload": {"x": 1}})
+        reloaded = ResultStore(root)
+        assert reloaded.record_for("k1")["payload"] == {"x": 1}
+
+    def test_truncated_trailing_line_is_tolerated(self, tmp_path):
+        root = tmp_path / "store"
+        store = ResultStore(root)
+        store.append({"key": "k1", "status": "completed"})
+        with store.results_path.open("a") as handle:
+            handle.write('{"key": "k2", "status": "comp')  # killed mid-write
+        reloaded = ResultStore(root)
+        assert reloaded.record_for("k1") is not None
+        assert reloaded.record_for("k2") is None
+
+    def test_counts_include_missing_against_spec(self, tmp_path):
+        spec = CampaignSpec(name="c", jobs=sleep_jobs(3))
+        store = ResultStore(tmp_path / "store")
+        store.append({"key": spec.jobs[0].key, "status": "completed"})
+        counts = store.counts(spec)
+        assert counts["completed"] == 1
+        assert counts["missing"] == 2
+
+    def test_in_memory_store_has_no_paths(self):
+        store = ResultStore(None)
+        assert not store.persistent
+        with pytest.raises(ValueError):
+            _ = store.results_path
+
+
+class TestJobRegistry:
+    def test_unknown_kind_raises(self):
+        with pytest.raises(KeyError, match="unknown job kind"):
+            resolve_job_kind("no-such-kind")
+
+    def test_builtin_sleep_resolves(self):
+        assert resolve_job_kind("sleep") is sleep_job
+
+    def test_register_and_reject_duplicates(self):
+        register_job_kind("test-unit-kind", lambda params: {"ok": True})
+        assert resolve_job_kind("test-unit-kind")({}) == {"ok": True}
+        with pytest.raises(ValueError, match="already registered"):
+            register_job_kind("sleep", lambda params: {})
+
+
+class TestExecuteJobAttempt:
+    def test_completed_attempt_carries_payload(self):
+        record = execute_job_attempt("sleep", {"marker": "x"})
+        assert record["status"] == "completed"
+        assert record["payload"]["marker"] == "x"
+
+    def test_raising_job_is_an_error_row(self):
+        record = execute_job_attempt("sleep", {"fail": True})
+        assert record["status"] == "error"
+        assert "RuntimeError" in record["error"]
+        assert "traceback" in record
+
+    def test_overrunning_job_is_a_timeout_row(self):
+        record = execute_job_attempt("sleep", {"seconds": 5.0}, job_timeout=0.2)
+        assert record["status"] == "timeout"
+        assert record["runtime_seconds"] < 2.0
+
+
+class TestSerialExecutor:
+    def test_serial_run_completes_all_jobs(self, tmp_path):
+        spec = CampaignSpec(name="c", jobs=sleep_jobs(3))
+        store = ResultStore(tmp_path / "store")
+        summary = run_campaign(spec, store, workers=0)
+        assert (summary.executed, summary.completed, summary.skipped) == (3, 3, 0)
+        assert store.counts(spec)["missing"] == 0
+
+    def test_resume_skips_completed_jobs(self, tmp_path):
+        spec = CampaignSpec(name="c", jobs=sleep_jobs(3))
+        store = ResultStore(tmp_path / "store")
+        run_campaign(spec, store, workers=0)
+        again = run_campaign(spec, store, workers=0)
+        assert again.executed == 0
+        assert again.skipped == 3
+
+    def test_resume_executes_only_missing_jobs(self, tmp_path):
+        log = tmp_path / "runs.log"
+        jobs = sleep_jobs(4, log_path=str(log))
+        store = ResultStore(tmp_path / "store")
+        run_campaign(CampaignSpec(name="c", jobs=jobs[:2]), store, workers=0)
+        summary = run_campaign(CampaignSpec(name="c", jobs=jobs), store, workers=0)
+        assert summary.skipped == 2
+        assert summary.executed == 2
+        # Each job body ran exactly once across both invocations.
+        assert len(log.read_text().splitlines()) == 4
+
+    def test_error_row_does_not_abort_the_sweep(self, tmp_path):
+        jobs = [
+            JobSpec(kind="sleep", params={"marker": 0, "fail": True}),
+            JobSpec(kind="sleep", params={"marker": 1}),
+        ]
+        store = ResultStore(tmp_path / "store")
+        summary = run_campaign(CampaignSpec(name="c", jobs=jobs), store, workers=0)
+        assert summary.errors == 1
+        assert summary.completed == 1
+
+    def test_failed_rows_skipped_unless_retry_failed(self, tmp_path):
+        jobs = [JobSpec(kind="sleep", params={"marker": 0, "fail": True})]
+        spec = CampaignSpec(name="c", jobs=jobs)
+        store = ResultStore(tmp_path / "store")
+        run_campaign(spec, store, workers=0)
+        assert run_campaign(spec, store, workers=0).executed == 0
+        retried = run_campaign(spec, store, workers=0, retry_failed=True)
+        assert retried.executed == 1
+        assert store.record_for(jobs[0].key)["attempt"] == 2
+
+    def test_serial_job_timeout_yields_timeout_row(self, tmp_path):
+        jobs = [
+            JobSpec(kind="sleep", params={"marker": 0, "seconds": 5.0}),
+            JobSpec(kind="sleep", params={"marker": 1}),
+        ]
+        store = ResultStore(tmp_path / "store")
+        summary = run_campaign(
+            CampaignSpec(name="c", jobs=jobs), store, workers=0, job_timeout=0.3
+        )
+        assert summary.timeouts == 1
+        assert summary.completed == 1
+
+    def test_progress_callback_sees_every_record(self, tmp_path):
+        seen = []
+        spec = CampaignSpec(name="c", jobs=sleep_jobs(3))
+        run_campaign(
+            spec, ResultStore(None), workers=0,
+            progress=lambda record, done, total: seen.append((record["status"], done, total)),
+        )
+        assert [entry[1] for entry in seen] == [1, 2, 3]
+        assert all(entry[2] == 3 for entry in seen)
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ValueError):
+            run_campaign(CampaignSpec(name="c", jobs=[]), ResultStore(None), workers=-1)
+
+
+class TestParallelExecutor:
+    def test_parallel_run_completes_all_jobs(self, tmp_path):
+        spec = CampaignSpec(name="c", jobs=sleep_jobs(4, seconds=0.1))
+        store = ResultStore(tmp_path / "store")
+        summary = run_campaign(spec, store, workers=2)
+        assert summary.completed == 4
+        assert store.counts(spec)["missing"] == 0
+
+    def test_worker_timeout_does_not_abort_the_sweep(self, tmp_path):
+        jobs = [
+            JobSpec(kind="sleep", params={"marker": "slow", "seconds": 10.0}),
+            JobSpec(kind="sleep", params={"marker": "a", "seconds": 0.05}),
+            JobSpec(kind="sleep", params={"marker": "b", "seconds": 0.05}),
+        ]
+        spec = CampaignSpec(name="c", jobs=jobs)
+        store = ResultStore(tmp_path / "store")
+        summary = run_campaign(spec, store, workers=2, job_timeout=0.5)
+        assert summary.timeouts == 1
+        assert summary.completed == 2
+        assert store.record_for(jobs[0].key)["status"] == "timeout"
+
+    def test_parallel_error_isolation(self, tmp_path):
+        jobs = [
+            JobSpec(kind="sleep", params={"marker": 0, "fail": True}),
+            JobSpec(kind="sleep", params={"marker": 1}),
+        ]
+        store = ResultStore(tmp_path / "store")
+        summary = run_campaign(CampaignSpec(name="c", jobs=jobs), store, workers=2)
+        assert summary.errors == 1
+        assert summary.completed == 1
+
+    def test_worker_death_is_attributed_to_the_culprit_only(self, tmp_path):
+        """A job that SIGKILLs its worker breaks the pool; the innocent jobs
+        sharing the pool must still end up completed, not error rows."""
+        jobs = [
+            JobSpec(kind="sleep", params={"marker": "killer", "kill": True}),
+        ] + [
+            JobSpec(kind="sleep", params={"marker": f"ok-{i}", "seconds": 0.05})
+            for i in range(3)
+        ]
+        spec = CampaignSpec(name="c", jobs=jobs)
+        store = ResultStore(tmp_path / "store")
+        summary = run_campaign(spec, store, workers=2)
+        assert summary.completed == 3
+        assert summary.errors == 1
+        culprit = store.record_for(jobs[0].key)
+        assert culprit["status"] == "error"
+        assert "worker process died" in culprit["error"]
+        for job in jobs[1:]:
+            assert store.record_for(job.key)["status"] == "completed"
+
+
+class TestStatusAndManifest:
+    def test_status_counts_and_rendering(self, tmp_path):
+        jobs = sleep_jobs(2) + [JobSpec(kind="sleep", group="other",
+                                        params={"marker": "x", "fail": True})]
+        spec = CampaignSpec(name="demo", jobs=jobs)
+        store = ResultStore(tmp_path / "store")
+        run_campaign(spec, store, workers=0)
+        status = campaign_status(spec, store)
+        assert (status.completed, status.errors, status.remaining) == (2, 1, 0)
+        text = render_status(status)
+        assert "campaign  : demo" in text
+        assert "remaining : 0" in text
+        assert "other" in text
+
+    def test_manifest_written_and_resumable(self, tmp_path):
+        spec = CampaignSpec(name="demo", jobs=sleep_jobs(2))
+        store = ResultStore(tmp_path / "store")
+        run_campaign(spec, store, workers=0)
+        rebuilt = ResultStore(tmp_path / "store").read_manifest()
+        assert rebuilt.name == "demo"
+        assert [j.key for j in rebuilt.jobs] == [j.key for j in spec.jobs]
+
+
+class TestBuildCampaign:
+    def test_full_grid_covers_every_group(self):
+        spec = build_campaign("full", quick=True)
+        assert spec.groups() == ["table1", "table2", "table3", "table4",
+                                 "table5", "figure4"]
+        # quick mode: 1 + 1 + 3x3 + 4x4 + 4x2 + 5x6 cells
+        assert len(spec.jobs) == 1 + 1 + 9 + 16 + 8 + 30
+
+    def test_smoke_grid_is_tiny(self):
+        spec = build_campaign("smoke")
+        assert len(spec.jobs) == 7
+        assert spec.groups() == ["sleep", "table3"]
+
+    def test_cli_grid_names_match_campaigns(self):
+        from repro.cli import _CAMPAIGN_GRIDS
+        from repro.experiments.campaigns import GRIDS
+
+        # cli.py mirrors GRIDS as a literal so building the parser never
+        # imports the experiments stack; keep the two in sync.
+        assert tuple(_CAMPAIGN_GRIDS) == tuple(GRIDS)
+
+    def test_unknown_grid_rejected(self):
+        with pytest.raises(ValueError, match="unknown grid"):
+            build_campaign("nope")
+
+    def test_single_table_grid_parameters_propagate(self):
+        spec = build_campaign("table3", attack_time_limit=7.5, engine="scalar")
+        assert all(job.params["time_limit"] == 7.5 for job in spec.jobs)
+        assert all(job.params["engine"] == "scalar" for job in spec.jobs)

@@ -1,0 +1,118 @@
+"""Batched DIP harvesting in the combinational attacks (SAT / AppSAT).
+
+Mirrors ``test_sequential_batched.py`` for the combinational DIP loop: the
+packed engine (activation-gated blocking clauses, one ``query_batch`` per
+round) must prove the same facts as the scalar one-DIP-per-solver-call
+reference path, so attack outcomes and recovered keys agree on schemes the
+attacks break and on schemes they provably cannot.
+"""
+
+import pytest
+
+from repro.attacks import appsat_attack, sat_attack
+from repro.attacks.results import AttackOutcome, AttackResult
+from repro.fsm.random_fsm import random_fsm
+from repro.fsm.synthesis import synthesize_fsm
+from repro.locking.baselines import lock_rll, lock_sarlock, lock_ttlock
+
+BUDGET = dict(time_limit=30.0)
+
+
+@pytest.fixture(scope="module")
+def base_circuit():
+    return synthesize_fsm(random_fsm(8, 2, 2, seed=5), style="sop")
+
+
+@pytest.fixture(scope="module")
+def locked_variants(base_circuit):
+    return {
+        "rll": lock_rll(base_circuit, 5, seed=1),
+        "sarlock": lock_sarlock(base_circuit, num_key_bits=4, seed=2),
+        "ttlock": lock_ttlock(base_circuit, num_key_bits=4, seed=2),
+    }
+
+
+class TestSatAttackEngines:
+    @pytest.mark.parametrize("scheme", ["rll", "sarlock", "ttlock"])
+    def test_packed_and_scalar_agree(self, locked_variants, scheme):
+        locked = locked_variants[scheme]
+        packed = sat_attack(locked, engine="packed", **BUDGET)
+        scalar = sat_attack(locked, engine="scalar", **BUDGET)
+        assert packed.outcome == scalar.outcome == AttackOutcome.CORRECT
+        assert packed.key == scalar.key
+        assert packed.details["engine"] == "packed"
+        assert scalar.details["engine"] == "scalar"
+
+    def test_packed_with_unit_batch_matches_scalar_iterations(self, locked_variants):
+        """``dip_batch=1`` disables harvesting: both paths do identical work."""
+        locked = locked_variants["sarlock"]
+        packed = sat_attack(locked, engine="packed", dip_batch=1, **BUDGET)
+        scalar = sat_attack(locked, engine="scalar", **BUDGET)
+        assert packed.iterations == scalar.iterations
+        assert packed.details["oracle_queries"] == scalar.details["oracle_queries"]
+        assert packed.key == scalar.key
+
+    def test_batched_rounds_are_fewer_than_iterations(self, locked_variants):
+        """On SARLock (one DIP per wrong key) harvesting batches the loop."""
+        result = sat_attack(locked_variants["sarlock"], engine="packed",
+                            dip_batch=8, **BUDGET)
+        assert result.outcome is AttackOutcome.CORRECT
+        assert result.details["dip_rounds"] < result.iterations
+
+    def test_engine_validation(self, locked_variants):
+        with pytest.raises(ValueError, match="unknown engine"):
+            sat_attack(locked_variants["rll"], engine="warp", **BUDGET)
+        with pytest.raises(ValueError, match="dip_batch"):
+            sat_attack(locked_variants["rll"], dip_batch=0, **BUDGET)
+
+
+class TestAppSatEngines:
+    def test_packed_and_scalar_agree_on_sarlock(self, locked_variants):
+        locked = locked_variants["sarlock"]
+        packed = appsat_attack(locked, engine="packed", **BUDGET)
+        scalar = appsat_attack(locked, engine="scalar", **BUDGET)
+        assert packed.key is not None and scalar.key is not None
+        assert packed.outcome == scalar.outcome
+        assert packed.details["engine"] == "packed"
+
+    def test_engine_validation(self, locked_variants):
+        with pytest.raises(ValueError, match="unknown engine"):
+            appsat_attack(locked_variants["rll"], engine="warp", **BUDGET)
+        with pytest.raises(ValueError, match="dip_batch"):
+            appsat_attack(locked_variants["rll"], dip_batch=-1, **BUDGET)
+
+
+class TestAttackResultSerialisation:
+    def test_round_trip_preserves_everything(self):
+        result = AttackResult(
+            attack="sat", outcome=AttackOutcome.CNS,
+            key={"k0": 1, "k1": 0}, iterations=7, runtime_seconds=1.25,
+            details={"oracle_queries": 12, "engine": "packed"},
+        )
+        rebuilt = AttackResult.from_dict(result.to_dict())
+        assert rebuilt.attack == "sat"
+        assert rebuilt.outcome is AttackOutcome.CNS
+        assert rebuilt.key == {"k0": 1, "k1": 0}
+        assert rebuilt.iterations == 7
+        assert rebuilt.runtime_seconds == 1.25
+        assert rebuilt.details["oracle_queries"] == 12
+        assert rebuilt.broke_defense is result.broke_defense
+
+    def test_non_json_details_are_coerced_not_dropped(self):
+        class Weird:
+            def __str__(self):
+                return "weird-object"
+
+        result = AttackResult(
+            attack="sat", outcome=AttackOutcome.FAIL, details={"thing": Weird()}
+        )
+        data = result.to_dict()
+        assert data["details"]["thing"] == "weird-object"
+        assert AttackResult.from_dict(data).details["thing"] == "weird-object"
+
+    def test_live_attack_result_survives_round_trip(self, locked_variants):
+        result = sat_attack(locked_variants["ttlock"], **BUDGET)
+        rebuilt = AttackResult.from_dict(result.to_dict())
+        assert rebuilt.outcome == result.outcome
+        assert rebuilt.key == result.key
+        assert rebuilt.iterations == result.iterations

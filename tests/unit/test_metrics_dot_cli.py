@@ -120,3 +120,30 @@ class TestCli:
         assert cli_main(["lock", str(original_path), "--scheme", "rll",
                          "--key-width", "4", "--output", str(out_path)]) == 0
         assert out_path.exists()
+
+    def test_attack_engine_flag_and_json_stdout(self, tmp_path, locked_pair, capsys):
+        circuit, locked = locked_pair
+        original_path = tmp_path / "design.bench"
+        locked_path = tmp_path / "locked.bench"
+        save_bench(circuit, original_path)
+        save_bench(locked.circuit, locked_path)
+        exit_code = cli_main([
+            "attack", str(locked_path), str(original_path),
+            "--attack", "int", "--time-limit", "15",
+            "--engine", "scalar", "--json",
+        ])
+        assert exit_code in (0, 1)  # ran to completion either way
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{"):])
+        assert payload["details"]["engine"] == "scalar"
+        assert payload["outcome"]
+
+    def test_attack_error_exits_2_with_json_error(self, tmp_path, capsys):
+        missing = tmp_path / "missing.bench"
+        oracle = tmp_path / "oracle.bench"
+        exit_code = cli_main([
+            "attack", str(missing), str(oracle), "--json",
+        ])
+        assert exit_code == 2
+        payload = json.loads(capsys.readouterr().out)
+        assert "error" in payload
