@@ -12,11 +12,21 @@ Two modes, selected by ``workers``:
 Per-job wall-clock timeouts are enforced *inside* the executing process with
 ``SIGALRM`` (both modes), so a job that overruns is interrupted exactly where
 it is and recorded as a ``timeout`` row — the pool keeps its worker and the
-sweep keeps going.  A job that raises is recorded as an ``error`` row.  A
+sweep keeps going.  A job that raises is recorded as an ``error`` row.
+Payloads are coerced to plain JSON types inside the attempt, so a value JSON
+cannot represent (a solver object, a lambda) completes with the identical
+stringified payload in serial and pool modes, one it cannot coerce at all
+(a circular reference) is an ``error`` row in both, and nothing unpicklable
+ever crosses the pool boundary; a future that still fails at that boundary
+without breaking the pool is an immediate ``error`` row, never a pointless
+isolated-pool re-run.  A
 worker that dies outright (segfault, OOM-kill) breaks the pool; the executor
 records nothing for jobs that already finished (their records were appended
 as they completed), rebuilds the pool, retries each not-yet-recorded job
 once, and records an ``error`` row for any job that kills the pool twice.
+Every finished-attempt record carries the attempt's resource metrics:
+``runtime_seconds`` (wall clock), ``cpu_seconds`` (process CPU time) and
+``max_rss_kb`` (peak RSS via ``getrusage``; None off-POSIX).
 
 Resume is a property of the (spec, store) pair, not of this module: jobs
 whose key already has a record in the store are skipped up front (completed
@@ -26,6 +36,7 @@ rows always; error/timeout rows unless ``retry_failed``).
 from __future__ import annotations
 
 import signal
+import sys
 import threading
 import time
 import traceback
@@ -35,8 +46,13 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
+try:  # POSIX-only; records carry max_rss_kb = None where it is unavailable
+    import resource as _resource
+except ImportError:  # pragma: no cover - non-POSIX platform
+    _resource = None  # type: ignore[assignment]
+
 from repro.campaign.jobs import execute_job
-from repro.campaign.spec import CampaignSpec, JobSpec
+from repro.campaign.spec import CampaignSpec, JobSpec, _jsonable
 from repro.campaign.store import (
     STATUS_COMPLETED,
     STATUS_ERROR,
@@ -80,6 +96,31 @@ def job_deadline(seconds: Optional[float]):
         signal.signal(signal.SIGALRM, previous)
 
 
+def peak_rss_kb() -> Optional[int]:
+    """Peak resident set size of this process in kB (None where unknown).
+
+    ``getrusage`` reports the high-water mark of the whole process lifetime,
+    so in a reused pool worker the value is "peak so far", an upper bound for
+    the individual job — still the number capacity planning needs (can N
+    workers of this kind fit on the host?).
+    """
+    if _resource is None:
+        return None
+    maxrss = _resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # ru_maxrss is bytes on macOS, kB on Linux
+        maxrss //= 1024
+    return int(maxrss)
+
+
+def _resource_fields(start_wall: float, start_cpu: float) -> Record:
+    """Wall/CPU/RSS metrics every finished-attempt record carries."""
+    return {
+        "runtime_seconds": time.perf_counter() - start_wall,
+        "cpu_seconds": max(0.0, time.process_time() - start_cpu),
+        "max_rss_kb": peak_rss_kb(),
+    }
+
+
 def execute_job_attempt(
     kind: str,
     params: Dict[str, object],
@@ -89,31 +130,41 @@ def execute_job_attempt(
 
     Never raises: the return value is a partial record with ``status`` one of
     ``completed`` / ``timeout`` / ``error`` plus the payload or the failure
-    context.  ``KeyboardInterrupt``/``SystemExit`` still propagate so an
-    operator can stop a serial sweep.
+    context, and always carries the attempt's resource metrics
+    (``runtime_seconds`` wall clock, ``cpu_seconds`` process CPU time,
+    ``max_rss_kb`` peak RSS).  ``KeyboardInterrupt``/``SystemExit`` still
+    propagate so an operator can stop a serial sweep.
     """
     start = time.perf_counter()
+    start_cpu = time.process_time()
     try:
         with job_deadline(job_timeout):
             payload = execute_job(kind, params)
+        # Coerce to plain JSON types *inside* the attempt: a payload holding
+        # e.g. a solver object or a lambda completes identically whether the
+        # job ran in-process or in a pool worker (nothing unpicklable ever
+        # crosses the pool boundary), and a payload JSON cannot coerce at
+        # all (a circular reference) is this job's error row in both modes
+        # rather than a pickling failure in one and a crash in the other.
+        payload = _jsonable(payload)
         return {
             "status": STATUS_COMPLETED,
             "payload": payload,
-            "runtime_seconds": time.perf_counter() - start,
+            **_resource_fields(start, start_cpu),
         }
     except JobTimeout as exc:
         return {
             "status": STATUS_TIMEOUT,
             "error": str(exc),
             "job_timeout": job_timeout,
-            "runtime_seconds": time.perf_counter() - start,
+            **_resource_fields(start, start_cpu),
         }
     except Exception as exc:
         return {
             "status": STATUS_ERROR,
             "error": f"{type(exc).__name__}: {exc}",
             "traceback": traceback.format_exc(limit=16),
-            "runtime_seconds": time.perf_counter() - start,
+            **_resource_fields(start, start_cpu),
         }
 
 
@@ -232,14 +283,38 @@ def _run_pool(
 
     A worker dying outright (segfault, OOM-kill) breaks the whole pool, and
     every still-unfinished future in the round fails with it — including
-    innocent jobs that merely shared the pool with the culprit.  So nothing
-    is judged in the shared round: every job whose future failed at the pool
-    level is re-run in a **single-job pool**, where a crash is attributable
-    to exactly that job and is recorded as its ``error`` row.  Jobs that
-    finished before the breakage keep their records; an innocent job re-run
-    after a breakage has at-least-once (not exactly-once) semantics.
+    innocent jobs that merely shared the pool with the culprit.  So no
+    **pool-level** failure is judged in the shared round: every job whose
+    future failed with :class:`BrokenProcessPool` (or was cancelled by the
+    breakage) is re-run in a **single-job pool**, where a crash is
+    attributable to exactly that job and is recorded as its ``error`` row.
+    Jobs that finished before the breakage keep their records; an innocent
+    job re-run after a breakage has at-least-once (not exactly-once)
+    semantics.
+
+    A future that fails with any *other* exception did not break the pool —
+    something could not cross the process boundary (``pickle`` raised, the
+    worker survived).  Payload coercion in :func:`execute_job_attempt` makes
+    that unreachable for well-behaved job kinds, but re-running such a job
+    in an isolated pool would fail identically either way, so it is recorded
+    as an ``error`` row immediately rather than re-run.
     """
     suspects: List[JobSpec] = []
+
+    def _boundary_error(exc: BaseException) -> Record:
+        return {
+            "status": STATUS_ERROR,
+            "error": (
+                "job failed at the process-pool boundary (its params or "
+                "payload could not cross the process boundary, e.g. an "
+                f"unpicklable value): {type(exc).__name__}: {exc}"
+            ),
+            "traceback": traceback.format_exc(limit=16),
+            "runtime_seconds": 0.0,
+            "cpu_seconds": 0.0,
+            "max_rss_kb": None,
+        }
+
     with ProcessPoolExecutor(max_workers=workers) as pool:
         futures = {
             pool.submit(_pool_worker, job.to_dict(), job_timeout): job
@@ -249,9 +324,11 @@ def _run_pool(
             job = futures[future]
             try:
                 body = future.result()
-            except (CancelledError, BrokenProcessPool, Exception):  # noqa: BLE001
+            except (CancelledError, BrokenProcessPool):
                 suspects.append(job)
                 continue
+            except Exception as exc:  # noqa: BLE001 - pool survived: job error
+                body = _boundary_error(exc)
             finish(job, body)
 
     # Keep the spec's job order for the isolated re-runs (as_completed
@@ -262,7 +339,7 @@ def _run_pool(
             future = pool.submit(_pool_worker, job.to_dict(), job_timeout)
             try:
                 body = future.result()
-            except (CancelledError, BrokenProcessPool, Exception) as exc:  # noqa: BLE001
+            except (CancelledError, BrokenProcessPool) as exc:
                 body = {
                     "status": STATUS_ERROR,
                     "error": (
@@ -270,5 +347,9 @@ def _run_pool(
                         f"isolated pool: {type(exc).__name__}: {exc}"
                     ),
                     "runtime_seconds": 0.0,
+                    "cpu_seconds": 0.0,
+                    "max_rss_kb": None,
                 }
+            except Exception as exc:  # noqa: BLE001 - pool survived: job error
+                body = _boundary_error(exc)
             finish(job, body)

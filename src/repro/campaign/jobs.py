@@ -70,7 +70,12 @@ def sleep_job(params: Mapping[str, object]) -> Dict[str, object]:
     (exercises error isolation); ``kill`` — SIGKILL the executing process
     (exercises broken-pool recovery; never use outside tests); ``log_path``
     — append one line per execution (lets tests count how often a job
-    actually ran across resume cycles).
+    actually ran across resume cycles); ``unpicklable`` — return a payload
+    holding a lambda (JSON-coercible to a string but not picklable:
+    exercises in-attempt payload coercion, which must make serial and pool
+    runs complete identically); ``circular`` — return a self-referential
+    payload JSON cannot coerce at all (exercises the error row both modes
+    must record instead of crashing or re-running).
     """
     seconds = float(params.get("seconds", 0.0))
     if params.get("log_path"):
@@ -86,4 +91,12 @@ def sleep_job(params: Mapping[str, object]) -> Dict[str, object]:
         os.kill(os.getpid(), 9)
     if params.get("fail"):
         raise RuntimeError(f"sleep job failed on request: {params.get('marker', '')}")
+    if params.get("unpicklable"):
+        return {"slept": seconds, "marker": params.get("marker"),
+                "handle": lambda: None}  # type: ignore[dict-item]
+    if params.get("circular"):
+        payload: Dict[str, object] = {"slept": seconds,
+                                      "marker": params.get("marker")}
+        payload["loop"] = payload
+        return payload
     return {"slept": seconds, "marker": params.get("marker")}

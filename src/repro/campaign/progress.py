@@ -10,6 +10,7 @@ from repro.campaign.store import (
     STATUS_COMPLETED,
     STATUS_ERROR,
     STATUS_TIMEOUT,
+    MergeSummary,
     Record,
     ResultStore,
 )
@@ -41,6 +42,7 @@ class CampaignStatus:
     timeouts: int = 0
     errors: int = 0
     missing: int = 0
+    shard: Optional[str] = None  #: "I/N" when the spec is one shard of a grid
     groups: List[GroupStatus] = field(default_factory=list)
 
     @property
@@ -53,9 +55,17 @@ class CampaignStatus:
         return self.missing == 0
 
 
+def _shard_text(spec: CampaignSpec) -> Optional[str]:
+    info = spec.metadata.get("shard") if isinstance(spec.metadata, dict) else None
+    if isinstance(info, dict) and "index" in info and "count" in info:
+        return f"{int(info['index']) + 1}/{int(info['count'])}"
+    return None
+
+
 def campaign_status(spec: CampaignSpec, store: ResultStore) -> CampaignStatus:
     """Tally the latest record per job against the spec, overall and per group."""
-    status = CampaignStatus(name=spec.name, total=len(spec.jobs))
+    status = CampaignStatus(name=spec.name, total=len(spec.jobs),
+                            shard=_shard_text(spec))
     by_group: Dict[str, GroupStatus] = {}
     for job in spec.jobs:
         group = by_group.get(job.group)
@@ -85,6 +95,10 @@ def render_status(status: CampaignStatus) -> str:
     """Human-readable status block (the ``campaign status`` CLI output)."""
     lines = [
         f"campaign  : {status.name}",
+    ]
+    if status.shard:
+        lines.append(f"shard     : {status.shard}")
+    lines += [
         f"jobs      : {status.total}",
         f"completed : {status.completed}",
         f"timeouts  : {status.timeouts}",
@@ -102,6 +116,20 @@ def render_status(status: CampaignStatus) -> str:
                 + (f", {group.errors} error" if group.errors else "")
                 + (f", {group.missing} remaining" if group.missing else "")
             )
+    return "\n".join(lines)
+
+
+def render_merge_summary(summary: MergeSummary) -> str:
+    """Human-readable block for ``campaign merge`` (mirrors render_status)."""
+    lines = [
+        f"merged    : {len(summary.sources)} source file(s) -> {summary.output}",
+        f"records   : {summary.records_in} read, {summary.records_out} kept"
+        + (f" ({summary.duplicates} duplicate(s) dropped)"
+           if summary.duplicates else ""),
+        f"keys      : {summary.keys}"
+        + (f" ({summary.conflicts} with multiple attempts, latest wins)"
+           if summary.conflicts else ""),
+    ]
     return "\n".join(lines)
 
 

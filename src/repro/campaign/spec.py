@@ -46,6 +46,19 @@ def job_key(kind: str, params: Mapping[str, object]) -> str:
     return digest[:KEY_HEX_CHARS]
 
 
+def shard_label(index: int, count: int) -> str:
+    """Human-readable shard tag (1-based) used in store file names.
+
+    ``shard_label(1, 4) == "2of4"`` — the tag a ``--shard 2/4`` run writes
+    its ``results-<tag>.jsonl`` under.
+    """
+    if count < 1:
+        raise ValueError(f"shard count must be >= 1, got {count}")
+    if not 0 <= index < count:
+        raise ValueError(f"shard index must be in [0, {count}), got {index}")
+    return f"{index + 1}of{count}"
+
+
 @dataclass(frozen=True)
 class JobSpec:
     """One cell of a campaign grid.
@@ -146,6 +159,31 @@ class CampaignSpec:
 
     def jobs_in_group(self, group: str) -> List[JobSpec]:
         return [job for job in self.jobs if job.group == group]
+
+    def shard(self, index: int, count: int) -> "CampaignSpec":
+        """Deterministic ``1``-of-``count`` partition of this campaign.
+
+        Jobs are striped round-robin over **spec order** (job ``i`` lands in
+        shard ``i % count``), so every job belongs to exactly one shard, the
+        union of all shards is the full spec, and — because the stripe is a
+        function of position, not of content — the partition is identical on
+        every host that builds the same spec.  Striping (rather than
+        contiguous blocks) spreads each table's expensive benchmarks across
+        shards, which balances wall-clock without any cost model.
+
+        The shard keeps the campaign ``name`` (it is the *same* campaign —
+        the manifest always describes the full grid) and records its slice
+        in ``metadata["shard"]`` so status/report output can label it.
+        """
+        label = shard_label(index, count)  # validates index/count
+        return CampaignSpec(
+            name=self.name,
+            jobs=list(self.jobs[index::count]),
+            metadata={
+                **self.metadata,
+                "shard": {"index": index, "count": count, "label": label},
+            },
+        )
 
     def extend(self, jobs: Iterable[JobSpec]) -> None:
         for job in jobs:

@@ -13,7 +13,10 @@ Python:
 * ``reproduce`` — regenerate the paper's evaluation (same as
   ``examples/reproduce_paper.py``);
 * ``campaign``  — run / resume / inspect a parallel experiment campaign
-  (``campaign run|status|resume|report``, see :mod:`repro.campaign`).
+  (``campaign run|status|resume|merge|report``, see :mod:`repro.campaign`).
+  Sweeps shard across processes and hosts with ``--shard I/N``; ``campaign
+  merge`` folds the per-shard stores back into one canonical store and
+  ``campaign report --latex`` emits the paper's tables from it.
 """
 
 from __future__ import annotations
@@ -21,9 +24,10 @@ from __future__ import annotations
 import argparse
 import inspect
 import json
+import re
 import sys
 from pathlib import Path
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.attacks import (
     appsat_attack,
@@ -178,9 +182,23 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
     from repro.experiments import run_all
 
     run_all(quick=not args.full, attack_time_limit=args.time_limit,
-            output_path=args.output, workers=args.workers,
-            store_path=args.store, job_timeout=args.job_timeout)
+            output_path=args.output, latex_path=args.latex,
+            workers=args.workers, store_path=args.store,
+            job_timeout=args.job_timeout)
     return 0
+
+
+def _parse_shard(text: str) -> Tuple[int, int]:
+    """Parse ``--shard I/N`` (1-based on the command line) to ``(index, count)``."""
+    match = re.fullmatch(r"(\d+)/(\d+)", text.strip())
+    if not match:
+        raise argparse.ArgumentTypeError(
+            f"expected --shard I/N (e.g. 2/4), got {text!r}")
+    index, count = int(match.group(1)), int(match.group(2))
+    if count < 1 or not 1 <= index <= count:
+        raise argparse.ArgumentTypeError(
+            f"shard index must satisfy 1 <= I <= N, got {text!r}")
+    return index - 1, count
 
 
 def _campaign_spec(args: argparse.Namespace, store) -> "object":
@@ -214,27 +232,48 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     from repro.campaign import (
         ResultStore,
         campaign_status,
+        merge_stores,
         progress_printer,
+        render_merge_summary,
         render_status,
         run_campaign,
+        shard_label,
     )
-    from repro.experiments.campaigns import aggregate_campaign
+    from repro.experiments.campaigns import aggregate_campaign, campaign_latex
     from repro.experiments.runner import write_report
 
-    store = ResultStore(args.store)
+    if args.command_campaign == "merge":
+        summary = merge_stores(args.store, extra=args.sources)
+        print(render_merge_summary(summary))
+        return 0
+
+    shard: Optional[Tuple[int, int]] = getattr(args, "shard", None)
+    store = ResultStore(
+        args.store, shard=shard_label(*shard) if shard else None
+    )
     spec = _campaign_spec(args, store)
+    if shard is not None:
+        # The manifest always describes the FULL grid (merge/report rebuild
+        # it); only the executed slice is sharded.  ``resume`` keeps the
+        # manifest a previous run already wrote.
+        if args.command_campaign == "run" and store.persistent:
+            store.write_manifest(spec)
+        spec = spec.shard(*shard)
 
     if args.command_campaign in ("run", "resume"):
         quiet = getattr(args, "quiet", False)
         if not quiet:
             mode = f"{args.workers} workers" if args.workers else "serial"
-            print(f"campaign {spec.name}: {len(spec.jobs)} jobs ({mode})", flush=True)
+            shard_note = f", shard {shard[0] + 1}/{shard[1]}" if shard else ""
+            print(f"campaign {spec.name}: {len(spec.jobs)} jobs "
+                  f"({mode}{shard_note})", flush=True)
         summary = run_campaign(
             spec, store,
             workers=args.workers,
             job_timeout=args.job_timeout,
             retry_failed=args.retry_failed,
             progress=None if quiet else progress_printer(),
+            write_manifest=shard is None,
         )
         status = campaign_status(spec, store)
         print(render_status(status))
@@ -243,7 +282,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             write_report(tables, args.report, elapsed=summary.wall_seconds)
             print(f"report written to {args.report}")
         # Non-zero when the sweep is not clean, so CI and scripts can gate
-        # on a fully-completed campaign without parsing the status text.
+        # on a fully-completed campaign (or shard) without parsing the
+        # status text.
         return 0 if status.finished and not (status.errors or status.timeouts) else 1
 
     if args.command_campaign == "status":
@@ -251,6 +291,16 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         return 0
 
     if args.command_campaign == "report":
+        if args.latex:
+            text = campaign_latex(
+                spec, store, redact_runtimes=args.redact_runtimes
+            )
+            if args.output:
+                Path(args.output).write_text(text)
+                print(f"LaTeX tables written to {args.output}")
+            else:
+                print(text)
+            return 0
         tables = aggregate_campaign(
             spec, store, redact_runtimes=args.redact_runtimes
         )
@@ -313,6 +363,8 @@ def build_parser() -> argparse.ArgumentParser:
     reproduce.add_argument("--full", action="store_true")
     reproduce.add_argument("--time-limit", type=float, default=20.0)
     reproduce.add_argument("--output", default="experiments_report.md")
+    reproduce.add_argument("--latex", default=None, metavar="PATH",
+                           help="also write the tables as a LaTeX fragment")
     reproduce.add_argument("--workers", type=int, default=0,
                            help="worker processes (0 = serial in-process)")
     reproduce.add_argument("--store", default=None,
@@ -323,14 +375,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     campaign = sub.add_parser(
         "campaign",
-        help="run/resume/inspect a parallel experiment campaign",
+        help="run/resume/inspect/merge a parallel experiment campaign",
         description="Parallel, resumable experiment sweeps backed by an "
-                    "append-only JSONL store (see repro.campaign).")
+                    "append-only JSONL store (see repro.campaign).  Shard a "
+                    "sweep over processes/hosts with --shard I/N, fold the "
+                    "shard stores together with 'merge', then render with "
+                    "'report' (add --latex for the paper's tables).")
     campaign_sub = campaign.add_subparsers(dest="command_campaign", required=True)
 
     def _store_arg(p: argparse.ArgumentParser) -> None:
         p.add_argument("--store", required=True,
                        help="campaign store directory (manifest + results.jsonl)")
+
+    def _shard_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--shard", type=_parse_shard, default=None, metavar="I/N",
+                       help="operate on shard I of N (deterministic 1-based "
+                            "partition of the grid; results go to "
+                            "results-IofN.jsonl, see 'campaign merge')")
 
     def _exec_args(p: argparse.ArgumentParser) -> None:
         p.add_argument("--workers", type=int, default=0,
@@ -343,6 +404,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the aggregated Markdown report here afterwards")
         p.add_argument("--quiet", action="store_true",
                        help="suppress per-job progress lines")
+        _shard_arg(p)
 
     campaign_run = campaign_sub.add_parser(
         "run", help="start (or continue) a campaign",
@@ -376,16 +438,36 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_status_p = campaign_sub.add_parser(
         "status", help="show completed/timeout/error/remaining counts")
     _store_arg(campaign_status_p)
+    _shard_arg(campaign_status_p)
     campaign_status_p.set_defaults(func=_cmd_campaign)
+
+    campaign_merge = campaign_sub.add_parser(
+        "merge", help="fold per-shard result stores into the canonical store",
+        description="Folds results-*.jsonl shard files (plus any extra "
+                    "stores/files given positionally, e.g. copied from other "
+                    "hosts) into the store's canonical results.jsonl. "
+                    "Latest finished_at wins per job key, exact duplicates "
+                    "are dropped and the output is byte-stable, so merging "
+                    "is idempotent and a merged report matches a serial "
+                    "single-store run.")
+    _store_arg(campaign_merge)
+    campaign_merge.add_argument(
+        "sources", nargs="*", default=[],
+        help="extra results files or store directories to fold in")
+    campaign_merge.set_defaults(func=_cmd_campaign)
 
     campaign_report = campaign_sub.add_parser(
         "report", help="aggregate stored results into the Markdown report")
     _store_arg(campaign_report)
+    _shard_arg(campaign_report)
     campaign_report.add_argument("--output", default=None,
                                  help="report path (default: print to stdout)")
     campaign_report.add_argument("--redact-runtimes", action="store_true",
                                  help="blank the wall-clock columns (stable "
                                       "output for diffs)")
+    campaign_report.add_argument("--latex", action="store_true",
+                                 help="emit the paper's LaTeX tables instead "
+                                      "of the Markdown report")
     campaign_report.set_defaults(func=_cmd_campaign)
     return parser
 

@@ -23,7 +23,7 @@ from typing import Dict, List, Optional
 from repro.campaign.spec import CampaignSpec, JobSpec
 from repro.campaign.store import ResultStore
 from repro.experiments.figure4 import aggregate_figure4, figure4_jobs
-from repro.experiments.report import ExperimentTable
+from repro.experiments.report import ExperimentTable, render_latex_tables
 from repro.experiments.table1 import table1_jobs
 from repro.experiments.table2 import table2_jobs
 from repro.experiments.table3 import aggregate_table3, table3_jobs
@@ -156,3 +156,19 @@ def aggregate_campaign(
             for metric, table in figure_tables.items():
                 tables[f"figure4_{metric}"] = table
     return tables
+
+
+def campaign_latex(
+    spec: CampaignSpec,
+    store: ResultStore,
+    *,
+    redact_runtimes: bool = False,
+) -> str:
+    """Render a (spec, store) pair straight to the paper's LaTeX tables.
+
+    The intended end of a multi-host sweep: run N shards, ``merge`` them,
+    then emit camera-ready tables from the merged store —
+    ``python -m repro campaign report --store ... --latex``.
+    """
+    tables = aggregate_campaign(spec, store, redact_runtimes=redact_runtimes)
+    return render_latex_tables(tables.values())

@@ -26,7 +26,7 @@ from repro.campaign.executor import run_campaign
 from repro.campaign.progress import campaign_status, progress_printer, render_status
 from repro.campaign.store import ResultStore
 from repro.experiments.campaigns import aggregate_campaign, build_campaign
-from repro.experiments.report import ExperimentTable
+from repro.experiments.report import ExperimentTable, render_latex_tables
 
 
 def run_all(
@@ -34,6 +34,7 @@ def run_all(
     quick: bool = True,
     attack_time_limit: float = 20.0,
     output_path: Optional[str] = None,
+    latex_path: Optional[str] = None,
     verbose: bool = True,
     workers: int = 0,
     store_path: Optional[str] = None,
@@ -83,6 +84,9 @@ def run_all(
     if output_path:
         write_report(tables, output_path, elapsed=elapsed)
         log(f"report written to {output_path}")
+    if latex_path:
+        write_latex_report(tables, latex_path)
+        log(f"LaTeX tables written to {latex_path}")
     return tables
 
 
@@ -102,6 +106,13 @@ def write_report(tables: Dict[str, ExperimentTable], path: str, *, elapsed: floa
     return output
 
 
+def write_latex_report(tables: Dict[str, ExperimentTable], path: str) -> Path:
+    """Write all tables as one LaTeX fragment (``\\input``-able in a paper)."""
+    output = Path(path)
+    output.write_text(render_latex_tables(tables.values()))
+    return output
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description="Regenerate the Cute-Lock evaluation")
     parser.add_argument("--full", action="store_true",
@@ -110,6 +121,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="per-attack time budget in seconds")
     parser.add_argument("--output", default="experiments_report.md",
                         help="path of the Markdown report to write")
+    parser.add_argument("--latex", default=None, metavar="PATH",
+                        help="also write the tables as a LaTeX fragment")
     parser.add_argument("--workers", type=int, default=0,
                         help="worker processes (0 = serial in-process)")
     parser.add_argument("--store", default=None,
@@ -118,8 +131,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="per-cell wall-clock budget in seconds")
     args = parser.parse_args(argv)
     run_all(quick=not args.full, attack_time_limit=args.time_limit,
-            output_path=args.output, workers=args.workers,
-            store_path=args.store, job_timeout=args.job_timeout)
+            output_path=args.output, latex_path=args.latex,
+            workers=args.workers, store_path=args.store,
+            job_timeout=args.job_timeout)
     return 0
 
 

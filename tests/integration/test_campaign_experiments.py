@@ -2,19 +2,32 @@
 
 Covers the acceptance semantics of the campaign subsystem: parallel and
 serial sweeps aggregate to byte-identical tables (modulo the wall-clock
-columns, which are redacted for the comparison), resume completes only the
-missing cells, a per-job timeout yields a ``timeout`` row without aborting
-the sweep, and the ``python -m repro campaign`` CLI drives the whole
-run / status / resume / report cycle.
+columns, which are redacted for the comparison), a sweep run as N shard
+stores then merged reports byte-identically to the serial single-store run,
+resume completes only the missing cells, a per-job timeout yields a
+``timeout`` row without aborting the sweep, and the ``python -m repro
+campaign`` CLI drives the whole run / status / resume / shard / merge /
+report (Markdown and LaTeX) cycle.
 """
 
 import json
 
 import pytest
 
-from repro.campaign import CampaignSpec, JobSpec, ResultStore, run_campaign
+from repro.campaign import (
+    CampaignSpec,
+    JobSpec,
+    ResultStore,
+    merge_stores,
+    run_campaign,
+    shard_label,
+)
 from repro.cli import main as cli_main
-from repro.experiments.campaigns import aggregate_campaign, build_campaign
+from repro.experiments.campaigns import (
+    aggregate_campaign,
+    build_campaign,
+    campaign_latex,
+)
 from repro.experiments.table3 import aggregate_table3, run_table3, table3_jobs
 
 #: One cheap benchmark x two attack modes: small enough for CI, wide enough
@@ -146,6 +159,88 @@ class TestCampaignCli:
         assert cli_main(["campaign", "resume", "--store", str(store_dir),
                          "--quiet"]) == 1
         capsys.readouterr()
+
+
+class TestShardedSweeps:
+    def test_sharded_sweep_merges_to_the_serial_report(self, tmp_path):
+        """Acceptance: N shard stores, merged, report byte-identical to the
+        same spec run serially into a single store (runtimes redacted — the
+        one legitimately nondeterministic field)."""
+        jobs = table3_jobs(**GRID)
+        spec = CampaignSpec(name="t3", jobs=jobs)
+
+        serial_root = tmp_path / "serial"
+        run_campaign(spec, ResultStore(serial_root), workers=0)
+
+        sharded_root = tmp_path / "sharded"
+        ResultStore(sharded_root).write_manifest(spec)
+        for index in range(2):
+            run_campaign(
+                spec.shard(index, 2),
+                ResultStore(sharded_root, shard=shard_label(index, 2)),
+                workers=0, write_manifest=False,
+            )
+        assert not (sharded_root / "results.jsonl").exists()
+        merge_stores(sharded_root)
+
+        def render(root):
+            tables = aggregate_campaign(
+                spec, ResultStore(root), redact_runtimes=True)
+            return "\n\n".join(table.to_text() for table in tables.values())
+
+        assert render(serial_root) == render(sharded_root)
+        # LaTeX output from the merged store matches the serial store too.
+        assert campaign_latex(spec, ResultStore(sharded_root),
+                              redact_runtimes=True) == \
+            campaign_latex(spec, ResultStore(serial_root), redact_runtimes=True)
+
+    def test_cli_shard_merge_status_cycle(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        spec = CampaignSpec(name="clidemo", jobs=[
+            JobSpec(kind="sleep", group="sleep", params={"marker": i})
+            for i in range(5)
+        ])
+        ResultStore(store).write_manifest(spec)
+        assert cli_main(["campaign", "resume", "--store", store,
+                         "--shard", "1/2", "--quiet"]) == 0
+        assert "shard     : 1/2" in capsys.readouterr().out
+        assert cli_main(["campaign", "resume", "--store", store,
+                         "--shard", "2/2", "--quiet"]) == 0
+        capsys.readouterr()
+        # Unmerged canonical store: everything still reads as missing.
+        assert cli_main(["campaign", "status", "--store", store]) == 0
+        assert "remaining : 5" in capsys.readouterr().out
+        assert cli_main(["campaign", "merge", "--store", store]) == 0
+        assert "5 read, 5 kept" in capsys.readouterr().out
+        assert cli_main(["campaign", "status", "--store", store]) == 0
+        assert "remaining : 0" in capsys.readouterr().out
+
+    def test_cli_report_latex_from_store(self, tmp_path, capsys):
+        store_dir = tmp_path / "store"
+        jobs = table3_jobs(benchmarks=["bcomp"], attacks=["INT"], time_limit=60.0)
+        spec = CampaignSpec(name="t3", jobs=jobs)
+        store = ResultStore(store_dir)
+        store.write_manifest(spec)
+        run_campaign(spec, store, workers=0, write_manifest=False)
+        output = tmp_path / "tables.tex"
+        assert cli_main(["campaign", "report", "--store", str(store_dir),
+                         "--latex", "--output", str(output)]) == 0
+        capsys.readouterr()
+        content = output.read_text()
+        assert r"\begin{tabular}" in content
+        assert "Table III" in content
+        # Without --output the fragment prints to stdout.
+        assert cli_main(["campaign", "report", "--store", str(store_dir),
+                         "--latex"]) == 0
+        assert r"\begin{table}" in capsys.readouterr().out
+
+    def test_cli_rejects_malformed_shard(self, tmp_path):
+        with pytest.raises(SystemExit):
+            cli_main(["campaign", "resume", "--store", str(tmp_path / "s"),
+                      "--shard", "3/2"])
+        with pytest.raises(SystemExit):
+            cli_main(["campaign", "resume", "--store", str(tmp_path / "s"),
+                      "--shard", "nope"])
 
 
 class TestFullGridAggregation:

@@ -1,6 +1,8 @@
 """Unit tests for the campaign subsystem: specs, store, executor, progress."""
 
 import json
+import os
+import warnings
 
 import pytest
 
@@ -11,10 +13,13 @@ from repro.campaign import (
     campaign_status,
     execute_job_attempt,
     job_key,
+    merge_stores,
     register_job_kind,
+    render_merge_summary,
     render_status,
     resolve_job_kind,
     run_campaign,
+    shard_label,
 )
 from repro.campaign.jobs import sleep_job
 from repro.experiments.campaigns import build_campaign
@@ -76,6 +81,144 @@ class TestCampaignSpec:
         assert [j.key for j in rebuilt.jobs] == [j.key for j in spec.jobs]
 
 
+class TestSharding:
+    def test_every_job_lands_in_exactly_one_shard(self):
+        spec = CampaignSpec(name="c", jobs=sleep_jobs(10))
+        for count in (1, 2, 3, 7, 10, 16):
+            shards = [spec.shard(index, count) for index in range(count)]
+            keys = [job.key for shard in shards for job in shard.jobs]
+            assert len(keys) == len(set(keys))  # disjoint
+            assert sorted(keys) == sorted(job.key for job in spec.jobs)  # union
+
+    def test_shards_preserve_spec_order(self):
+        spec = CampaignSpec(name="c", jobs=sleep_jobs(9))
+        position = {job.key: index for index, job in enumerate(spec.jobs)}
+        for index in range(4):
+            order = [position[job.key] for job in spec.shard(index, 4).jobs]
+            assert order == sorted(order)
+
+    def test_shard_is_deterministic_and_labelled(self):
+        spec = CampaignSpec(name="c", jobs=sleep_jobs(5), metadata={"grid": "g"})
+        shard = spec.shard(1, 3)
+        again = spec.shard(1, 3)
+        assert [j.key for j in shard.jobs] == [j.key for j in again.jobs]
+        assert shard.name == spec.name  # same campaign, same manifest
+        assert shard.metadata["grid"] == "g"
+        assert shard.metadata["shard"] == {"index": 1, "count": 3, "label": "2of3"}
+        assert shard_label(1, 3) == "2of3"
+
+    def test_invalid_shard_arguments_rejected(self):
+        spec = CampaignSpec(name="c", jobs=sleep_jobs(3))
+        with pytest.raises(ValueError):
+            spec.shard(3, 3)
+        with pytest.raises(ValueError):
+            spec.shard(-1, 3)
+        with pytest.raises(ValueError):
+            spec.shard(0, 0)
+
+    def test_shard_status_is_labelled(self, tmp_path):
+        spec = CampaignSpec(name="demo", jobs=sleep_jobs(4))
+        shard = spec.shard(0, 2)
+        store = ResultStore(tmp_path / "store", shard=shard_label(0, 2))
+        run_campaign(shard, store, workers=0, write_manifest=False)
+        status = campaign_status(shard, store)
+        assert status.shard == "1/2"
+        assert "shard     : 1/2" in render_status(status)
+
+
+class TestShardStores:
+    def test_shard_store_writes_its_own_results_file(self, tmp_path):
+        root = tmp_path / "store"
+        shard_store = ResultStore(root, shard="1of2")
+        shard_store.append({"key": "k1", "status": "completed"})
+        assert (root / "results-1of2.jsonl").exists()
+        assert not (root / "results.jsonl").exists()
+        # The canonical store does not see shard records until a merge.
+        assert ResultStore(root).record_for("k1") is None
+        assert ResultStore(root, shard="1of2").record_for("k1") is not None
+
+    def test_invalid_shard_tag_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="invalid shard tag"):
+            ResultStore(tmp_path / "store", shard="../evil")
+
+
+class TestMergeStores:
+    def _run_sharded(self, root, spec, count):
+        for index in range(count):
+            run_campaign(
+                spec.shard(index, count),
+                ResultStore(root, shard=shard_label(index, count)),
+                workers=0, write_manifest=False,
+            )
+
+    def test_merge_folds_disjoint_shards(self, tmp_path):
+        root = tmp_path / "store"
+        spec = CampaignSpec(name="c", jobs=sleep_jobs(5))
+        self._run_sharded(root, spec, 2)
+        summary = merge_stores(root)
+        assert summary.records_in == 5
+        assert summary.records_out == 5
+        assert summary.duplicates == 0
+        assert summary.keys == 5
+        merged = ResultStore(root)
+        assert len(merged) == 5
+        assert merged.counts(spec)["missing"] == 0
+        assert "5 read, 5 kept" in render_merge_summary(summary)
+
+    def test_merge_is_idempotent_and_byte_stable(self, tmp_path):
+        root = tmp_path / "store"
+        spec = CampaignSpec(name="c", jobs=sleep_jobs(6))
+        self._run_sharded(root, spec, 3)
+        merge_stores(root)
+        first = (root / "results.jsonl").read_bytes()
+        summary = merge_stores(root)  # canonical + the 3 shard files again
+        assert (root / "results.jsonl").read_bytes() == first
+        assert summary.duplicates == 6  # every shard record already canonical
+        assert summary.records_out == 6
+
+    def test_merge_latest_wins_and_renumbers_attempts(self, tmp_path):
+        root = tmp_path / "store"
+        ResultStore(root, shard="1of2").append(
+            {"key": "k1", "status": "error", "finished_at": 100.0})
+        ResultStore(root, shard="2of2").append(
+            {"key": "k1", "status": "completed", "finished_at": 200.0})
+        summary = merge_stores(root)
+        assert summary.conflicts == 1
+        merged = ResultStore(root)
+        assert len(merged) == 2  # history preserved, append-only semantics
+        latest = merged.record_for("k1")
+        assert latest["status"] == "completed"
+        assert latest["attempt"] == 2  # renumbered in finish order
+
+    def test_merge_accepts_stores_copied_from_other_hosts(self, tmp_path):
+        spec = CampaignSpec(name="c", jobs=sleep_jobs(4))
+        local, remote = tmp_path / "local", tmp_path / "remote"
+        run_campaign(spec.shard(0, 2), ResultStore(local, shard="1of2"),
+                     workers=0, write_manifest=False)
+        run_campaign(spec.shard(1, 2), ResultStore(remote, shard="2of2"),
+                     workers=0, write_manifest=False)
+        summary = merge_stores(local, extra=[remote])
+        assert summary.records_out == 4
+        assert ResultStore(local).counts(spec)["missing"] == 0
+
+    def test_merge_with_no_sources_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="nothing to merge"):
+            merge_stores(tmp_path / "empty")
+        with pytest.raises(FileNotFoundError, match="does not exist"):
+            merge_stores(tmp_path / "empty", extra=[tmp_path / "ghost.jsonl"])
+
+    def test_merge_rejects_extra_dir_without_results(self, tmp_path):
+        """An explicitly-named source directory that matches no results files
+        (wrong directory level, typo'd rsync target) must fail loud, not
+        silently contribute nothing to the merge."""
+        ResultStore(tmp_path / "store", shard="1of1").append(
+            {"key": "k1", "status": "completed"})
+        wrong_level = tmp_path / "from-host-b"
+        (wrong_level / "full").mkdir(parents=True)
+        with pytest.raises(FileNotFoundError, match="no results"):
+            merge_stores(tmp_path / "store", extra=[wrong_level])
+
+
 class TestResultStore:
     def test_append_indexes_latest_record_per_key(self, tmp_path):
         store = ResultStore(tmp_path / "store")
@@ -92,15 +235,81 @@ class TestResultStore:
         reloaded = ResultStore(root)
         assert reloaded.record_for("k1")["payload"] == {"x": 1}
 
-    def test_truncated_trailing_line_is_tolerated(self, tmp_path):
+    def test_truncated_trailing_line_is_tolerated_silently(self, tmp_path):
         root = tmp_path / "store"
         store = ResultStore(root)
         store.append({"key": "k1", "status": "completed"})
         with store.results_path.open("a") as handle:
             handle.write('{"key": "k2", "status": "comp')  # killed mid-write
-        reloaded = ResultStore(root)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # a trailing tear must NOT warn
+            reloaded = ResultStore(root)
         assert reloaded.record_for("k1") is not None
         assert reloaded.record_for("k2") is None
+
+    def test_midfile_corruption_warns_with_line_number(self, tmp_path):
+        root = tmp_path / "store"
+        store = ResultStore(root)
+        store.append({"key": "k1", "status": "completed"})
+        store.append({"key": "k2", "status": "completed"})
+        lines = store.results_path.read_text().splitlines()
+        lines.insert(1, '{"key": "k3", "status"!! garbage')
+        store.results_path.write_text("\n".join(lines) + "\n")
+        with pytest.warns(RuntimeWarning, match=r"results\.jsonl:2: dropping"):
+            reloaded = ResultStore(root)
+        # Only the corrupt line is dropped; records around it survive.
+        assert len(reloaded) == 2
+        assert reloaded.record_for("k1") is not None
+        assert reloaded.record_for("k2") is not None
+
+    def test_attempt_counter_survives_reload(self, tmp_path):
+        root = tmp_path / "store"
+        store = ResultStore(root)
+        store.append({"key": "k1", "status": "error"})
+        store.append({"key": "k1", "status": "error"})
+        reloaded = ResultStore(root)
+        record = reloaded.append({"key": "k1", "status": "completed"})
+        assert record["attempt"] == 3
+
+    def test_attempt_counter_respects_carried_attempt_numbers(self):
+        store = ResultStore(None)
+        store.append({"key": "k1", "status": "error", "attempt": 5})
+        assert store.append({"key": "k1", "status": "completed"})["attempt"] == 6
+
+    def test_write_manifest_fsyncs_before_replace(self, tmp_path, monkeypatch):
+        events = []
+        real_fsync, real_replace = os.fsync, os.replace
+
+        def spy_fsync(fd):
+            events.append("fsync")
+            return real_fsync(fd)
+
+        def spy_replace(src, dst):
+            events.append("replace")
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(os, "fsync", spy_fsync)
+        monkeypatch.setattr(os, "replace", spy_replace)
+        store = ResultStore(tmp_path / "store")
+        store.write_manifest(CampaignSpec(name="c", jobs=sleep_jobs(1)))
+        # The tmp file must hit disk before the rename publishes it (a crash
+        # between the two may otherwise install an empty manifest).
+        assert "replace" in events
+        assert "fsync" in events[: events.index("replace")]
+        assert not list((tmp_path / "store").glob("*.tmp*"))
+
+    def test_write_manifest_skips_identical_rewrite(self, tmp_path, monkeypatch):
+        spec = CampaignSpec(name="c", jobs=sleep_jobs(2))
+        store = ResultStore(tmp_path / "store")
+        store.write_manifest(spec)
+        # Concurrent shard runs republish the same full-grid manifest; the
+        # matching-bytes short-circuit must not touch the file again.
+        def boom(src, dst):
+            raise AssertionError("manifest rewritten despite identical bytes")
+
+        monkeypatch.setattr(os, "replace", boom)
+        store.write_manifest(spec)
+        assert store.read_manifest().name == "c"
 
     def test_counts_include_missing_against_spec(self, tmp_path):
         spec = CampaignSpec(name="c", jobs=sleep_jobs(3))
@@ -148,6 +357,19 @@ class TestExecuteJobAttempt:
         record = execute_job_attempt("sleep", {"seconds": 5.0}, job_timeout=0.2)
         assert record["status"] == "timeout"
         assert record["runtime_seconds"] < 2.0
+
+    def test_every_outcome_carries_resource_metrics(self):
+        records = [
+            execute_job_attempt("sleep", {"marker": "ok"}),
+            execute_job_attempt("sleep", {"fail": True}),
+            execute_job_attempt("sleep", {"seconds": 5.0}, job_timeout=0.2),
+        ]
+        for record in records:
+            assert record["cpu_seconds"] >= 0.0
+            assert "max_rss_kb" in record
+            if record["max_rss_kb"] is not None:  # POSIX: a real peak RSS
+                assert isinstance(record["max_rss_kb"], int)
+                assert record["max_rss_kb"] > 0
 
 
 class TestSerialExecutor:
@@ -254,6 +476,68 @@ class TestParallelExecutor:
         summary = run_campaign(CampaignSpec(name="c", jobs=jobs), store, workers=2)
         assert summary.errors == 1
         assert summary.completed == 1
+
+    def test_unpicklable_payload_completes_identically_in_both_modes(self, tmp_path):
+        """A payload holding a lambda is coerced to JSON inside the attempt,
+        so it never hits the pool boundary: serial and parallel runs both
+        complete the job with the identical stringified payload (no broken
+        pool, no pointless isolated-pool re-run)."""
+        records = {}
+        for mode, workers in (("serial", 0), ("parallel", 2)):
+            log = tmp_path / f"runs-{mode}.log"
+            jobs = [
+                JobSpec(kind="sleep", params={"marker": "lam", "unpicklable": True,
+                                              "log_path": str(log)}),
+                JobSpec(kind="sleep", params={"marker": "ok", "seconds": 0.05}),
+            ]
+            store = ResultStore(tmp_path / f"store-{mode}")
+            summary = run_campaign(CampaignSpec(name="c", jobs=jobs), store,
+                                   workers=workers)
+            assert summary.completed == 2
+            assert summary.errors == 0
+            records[mode] = store.record_for(jobs[0].key)
+            # The job body executed exactly once — no isolated-pool re-run.
+            assert log.read_text().splitlines().count("lam") == 1
+        for record in records.values():
+            assert record["status"] == "completed"
+            assert record["payload"]["handle"].startswith("<function")
+        # Identical payloads modulo the stringified handle (its repr embeds
+        # a per-process memory address).
+        strip = lambda payload: {k: v for k, v in payload.items() if k != "handle"}
+        assert strip(records["serial"]["payload"]) == \
+            strip(records["parallel"]["payload"])
+
+    def test_uncoercible_payload_is_an_error_row_in_both_modes(self, tmp_path):
+        """A payload JSON cannot coerce at all (circular reference) must be
+        this job's own ``error`` row in serial AND pool mode — not a crash in
+        one and a pool-boundary failure in the other — and must not trigger a
+        doomed isolated-pool re-run."""
+        for mode, workers in (("serial", 0), ("parallel", 2)):
+            log = tmp_path / f"runs-{mode}.log"
+            jobs = [
+                JobSpec(kind="sleep", params={"marker": "loop", "circular": True,
+                                              "log_path": str(log)}),
+                JobSpec(kind="sleep", params={"marker": "ok", "seconds": 0.05}),
+            ]
+            store = ResultStore(tmp_path / f"store-{mode}")
+            summary = run_campaign(CampaignSpec(name="c", jobs=jobs), store,
+                                   workers=workers)
+            assert summary.errors == 1
+            assert summary.completed == 1
+            record = store.record_for(jobs[0].key)
+            assert record["status"] == "error"
+            assert "Circular" in record["error"]
+            assert record["attempt"] == 1
+            assert log.read_text().splitlines().count("loop") == 1
+
+    def test_pool_records_carry_resource_metrics(self, tmp_path):
+        spec = CampaignSpec(name="c", jobs=sleep_jobs(2, seconds=0.05))
+        store = ResultStore(tmp_path / "store")
+        run_campaign(spec, store, workers=2)
+        for job in spec.jobs:
+            record = store.record_for(job.key)
+            assert record["cpu_seconds"] >= 0.0
+            assert "max_rss_kb" in record
 
     def test_worker_death_is_attributed_to_the_culprit_only(self, tmp_path):
         """A job that SIGKILLs its worker breaks the pool; the innocent jobs

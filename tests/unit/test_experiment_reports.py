@@ -4,8 +4,13 @@ from pathlib import Path
 
 import pytest
 
-from repro.experiments.report import ExperimentTable, format_table
-from repro.experiments.runner import write_report
+from repro.experiments.report import (
+    ExperimentTable,
+    format_table,
+    latex_escape,
+    render_latex_tables,
+)
+from repro.experiments.runner import write_latex_report, write_report
 
 
 class TestFormatTable:
@@ -48,6 +53,48 @@ class TestExperimentTable:
         table.add_row(x=42)
         path = table.write(tmp_path / "out.md")
         assert "42" in Path(path).read_text()
+
+
+class TestLatexRendering:
+    def test_escape_covers_table_text(self):
+        assert latex_escape("# Keys (k)") == r"\# Keys (k)"
+        assert latex_escape("a_b & 10%") == r"a\_b \& 10\%"
+        assert latex_escape(1.23456) == "1.235"
+
+    def test_to_latex_structure(self):
+        table = ExperimentTable(name="Table III", title="100% secure_designs",
+                                columns=["# Keys (k)", "outcome"])
+        table.add_row(**{"# Keys (k)": 6, "outcome": "wrong-key"})
+        table.notes.append("no attack recovered a working key")
+        tex = table.to_latex()
+        assert tex.startswith(r"\begin{table}")
+        assert r"\begin{tabular}{ll}" in tex
+        assert r"\caption{Table III: 100\% secure\_designs}" in tex
+        assert r"\label{tab:table-iii}" in tex
+        assert r"\# Keys (k) & outcome \\" in tex
+        assert r"6 & wrong-key \\" in tex
+        assert r"\footnotesize no attack recovered a working key" in tex
+        assert tex.endswith(r"\end{table}")
+
+    def test_missing_cells_render_empty(self):
+        table = ExperimentTable(name="T", title="t", columns=["a", "b"])
+        table.add_row(a=1)
+        assert r"1 &  \\" in table.to_latex()
+
+    def test_render_latex_tables_joins_blocks(self):
+        first = ExperimentTable(name="Table IV", title="x", columns=["a"])
+        second = ExperimentTable(name="Table V", title="y", columns=["a"])
+        tex = render_latex_tables([first, second])
+        assert tex.count(r"\begin{table}") == 2
+        assert tex.index("tab:table-iv") < tex.index("tab:table-v")
+        assert tex.startswith("%")
+
+    def test_write_latex_report(self, tmp_path):
+        table = ExperimentTable(name="Table V", title="demo", columns=["x"])
+        table.add_row(x=42)
+        path = write_latex_report({"t": table}, str(tmp_path / "tables.tex"))
+        content = Path(path).read_text()
+        assert r"\begin{tabular}" in content and "42" in content
 
 
 class TestWriteReport:
