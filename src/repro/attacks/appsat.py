@@ -24,13 +24,13 @@ from typing import Dict, Optional, Union
 from repro.attacks.results import AttackOutcome, AttackResult
 from repro.attacks.sat_attack import (
     _DipHarvester,
-    _IncrementalCnf,
     _as_locked_pair,
 )
 from repro.engine.batch_oracle import BatchedCombinationalOracle
 from repro.engine.packed import PackedSimulator
 from repro.locking.base import LockedCircuit
 from repro.netlist.circuit import Circuit
+from repro.sat.session import DEFAULT_BACKEND, SolveSession
 from repro.sim.equivalence import random_equivalence_check
 
 
@@ -48,6 +48,7 @@ def appsat_attack(
     seed: int = 0,
     dip_batch: int = 8,
     engine: str = "packed",
+    solver_backend: str = DEFAULT_BACKEND,
 ) -> AttackResult:
     """Run the AppSAT approximate attack.
 
@@ -60,7 +61,8 @@ def appsat_attack(
 
     ``dip_batch``/``engine`` control batched DIP harvesting exactly as in
     :func:`~repro.attacks.sat_attack.sat_attack` (``engine="scalar"``
-    restores the one-DIP-per-solver-call reference path).
+    restores the one-DIP-per-solver-call reference path), and
+    ``solver_backend`` selects the session's solver backend.
     """
     if engine not in ("packed", "scalar"):
         raise ValueError(f"unknown engine {engine!r} (expected 'packed' or 'scalar')")
@@ -86,8 +88,11 @@ def appsat_attack(
     functional_nets = [n for n in locked_view.inputs if n not in set(key_nets)]
     shared_outputs = [o for o in locked_view.outputs if o in set(oracle.output_nets)]
 
-    inc = _IncrementalCnf()
-    encoder, solver = inc.encoder, inc.solver
+    deadline = start + time_limit
+    session = SolveSession(
+        solver_backend, conflict_limit=conflict_limit, deadline=deadline
+    )
+    encoder = session.encoder
     shared_functional = {net: net for net in functional_nets}
     encoder.encode(locked_view, prefix="A@", shared_nets=shared_functional)
     encoder.encode(locked_view, prefix="B@", shared_nets=shared_functional)
@@ -98,15 +103,11 @@ def appsat_attack(
     )
     diff_literal = encoder.literal(diff_net, True)
 
-    deadline = start + time_limit
-
     def extract_candidate() -> Optional[Dict[str, int]]:
-        inc.sync()
-        status = solver.solve(conflict_limit=conflict_limit,
-                              time_limit=max(deadline - time.monotonic(), 0.001))
+        status = session.solve(phase="key-extract")
         if not status:
             return None
-        model = solver.model()
+        model = session.model()
         return {net: model.get(encoder.varmap.get(f"A@{net}", -1), 0) for net in key_nets}
 
     def sample_error(candidate: Dict[str, int]) -> float:
@@ -129,7 +130,7 @@ def appsat_attack(
     constraint_tag = 0
     dip_rounds = 0
     harvester = _DipHarvester(
-        inc, diff_literal, functional_nets, conflict_limit, deadline, max_iterations
+        session, diff_literal, functional_nets, deadline, max_iterations
     )
 
     def add_dip_constraints(dip: Dict[str, int], response: Dict[str, int]) -> None:
@@ -151,7 +152,8 @@ def appsat_attack(
             iterations=harvester.iterations,
             runtime_seconds=time.monotonic() - start,
             details={"oracle_queries": oracle.queries, "engine": engine,
-                     "dip_rounds": dip_rounds, **details},
+                     "dip_rounds": dip_rounds,
+                     "solver": session.telemetry.to_dict(), **details},
         )
 
     def classify(candidate: Dict[str, int], approximate: bool) -> AttackResult:

@@ -16,6 +16,7 @@ from repro.attacks.results import AttackResult
 from repro.attacks.sequential_core import sequential_oracle_guided_attack
 from repro.locking.base import LockedCircuit
 from repro.netlist.circuit import Circuit
+from repro.sat.session import DEFAULT_BACKEND
 
 
 def bmc_attack(
@@ -30,6 +31,7 @@ def bmc_attack(
     dis_batch: int = 8,
     key_batch: int = 8,
     engine: str = "packed",
+    solver_backend: str = DEFAULT_BACKEND,
 ) -> AttackResult:
     """Run the non-incremental unrolling attack (NEOS ``bbo`` equivalent).
 
@@ -52,4 +54,5 @@ def bmc_attack(
         dis_batch=dis_batch,
         key_batch=key_batch,
         engine=engine,
+        solver_backend=solver_backend,
     )

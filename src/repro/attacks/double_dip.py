@@ -15,10 +15,11 @@ import time
 from typing import Dict, Optional, Union
 
 from repro.attacks.results import AttackOutcome, AttackResult
-from repro.attacks.sat_attack import _IncrementalCnf, _as_locked_pair, _extract_dip
+from repro.attacks.sat_attack import _as_locked_pair, _extract_dip
 from repro.engine.batch_oracle import BatchedCombinationalOracle
 from repro.locking.base import LockedCircuit
 from repro.netlist.circuit import Circuit
+from repro.sat.session import DEFAULT_BACKEND, SolveSession
 from repro.sim.equivalence import random_equivalence_check
 
 
@@ -30,6 +31,7 @@ def double_dip_attack(
     time_limit: float = 120.0,
     conflict_limit: Optional[int] = 200_000,
     verify_vectors: int = 256,
+    solver_backend: str = DEFAULT_BACKEND,
 ) -> AttackResult:
     """Run the DoubleDIP attack (two DIPs harvested per iteration)."""
     locked_circuit, original = _as_locked_pair(locked, oracle_circuit)
@@ -51,8 +53,11 @@ def double_dip_attack(
         return AttackResult(attack="double-dip", outcome=AttackOutcome.FAIL,
                             details={"reason": "locked circuit and oracle share no outputs"})
 
-    inc = _IncrementalCnf()
-    encoder, solver = inc.encoder, inc.solver
+    deadline = start + time_limit
+    session = SolveSession(
+        solver_backend, conflict_limit=conflict_limit, deadline=deadline
+    )
+    encoder = session.encoder
     shared_functional = {net: net for net in functional_nets}
     encoder.encode(locked_view, prefix="A@", shared_nets=shared_functional)
     encoder.encode(locked_view, prefix="B@", shared_nets=shared_functional)
@@ -63,7 +68,6 @@ def double_dip_attack(
     )
     diff_literal = encoder.literal(diff_net, True)
 
-    deadline = start + time_limit
     iterations = 0
     constraint_blocks = 0
 
@@ -84,7 +88,8 @@ def double_dip_attack(
         return AttackResult(
             attack="double-dip", outcome=outcome, key=key, iterations=iterations,
             runtime_seconds=time.monotonic() - start,
-            details={"oracle_queries": oracle.queries, **details},
+            details={"oracle_queries": oracle.queries,
+                     "solver": session.telemetry.to_dict(), **details},
         )
 
     while iterations < max_iterations:
@@ -93,27 +98,23 @@ def double_dip_attack(
         iterations += 1
         found_any = False
         for _ in range(2):  # harvest up to two DIPs per round
-            inc.sync()
-            status = solver.solve(assumptions=[diff_literal], conflict_limit=conflict_limit,
-                                  time_limit=max(deadline - time.monotonic(), 0.001))
+            status = session.solve(assumptions=[diff_literal], phase="dip-search")
             if status is None:
                 return finish(AttackOutcome.TIMEOUT, reason="solver limit during DIP search")
             if status is False:
                 break
             found_any = True
-            dip = _extract_dip(encoder, solver.model(), functional_nets)
+            dip = _extract_dip(encoder, session.model(), functional_nets)
             add_constraints(dip, oracle.query(dip))
         if not found_any:
             # Converged: extract and classify a consistent key (if any).
-            inc.sync()
-            status = solver.solve(conflict_limit=conflict_limit,
-                                  time_limit=max(deadline - time.monotonic(), 0.001))
+            status = session.solve(phase="key-extract")
             if status is None:
                 return finish(AttackOutcome.TIMEOUT, reason="solver limit during key extraction")
             if status is False:
                 return finish(AttackOutcome.CNS,
                               reason="no static key satisfies all DIP constraints")
-            model = solver.model()
+            model = session.model()
             key = {net: model.get(encoder.varmap.get(f"A@{net}", -1), 0) for net in key_nets}
             verdict = random_equivalence_check(
                 original, locked_circuit, key_assignment=key, num_vectors=verify_vectors

@@ -34,8 +34,7 @@ from repro.engine.packed import PackedSimulator
 from repro.locking.base import LockedCircuit
 from repro.netlist.circuit import Circuit
 from repro.netlist.gates import Gate, GateType
-from repro.sat.solver import Solver
-from repro.sat.tseitin import TseitinEncoder
+from repro.sat.session import DEFAULT_BACKEND, SolveSession, SolverTelemetry
 from repro.sim.equivalence import random_equivalence_check
 
 
@@ -205,19 +204,21 @@ def _confirm_candidate(
     candidate: Dict[str, int],
     *,
     conflict_limit: Optional[int],
+    solver_backend: str = DEFAULT_BACKEND,
+    telemetry: Optional[SolverTelemetry] = None,
 ) -> bool:
     """Oracle-less SAT confirmation: under ``candidate`` the restore comparator
     and the stripping comparator must agree for every input (the corruption
     XOR can never fire)."""
-    encoder = TseitinEncoder()
-    encoder.encode(locked_view)
-    diff_net = encoder.encode_inequality([restore_net], [strip_net])
-    solver = Solver()
-    solver.add_clauses(encoder.cnf.clauses)
-    assumptions = [encoder.literal(diff_net, True)]
+    session = SolveSession(
+        solver_backend, conflict_limit=conflict_limit, telemetry=telemetry
+    )
+    session.encoder.encode(locked_view)
+    diff_net = session.encoder.encode_inequality([restore_net], [strip_net])
+    assumptions = [session.literal(diff_net, True)]
     for net, value in candidate.items():
-        assumptions.append(encoder.literal(net, bool(value)))
-    status = solver.solve(assumptions=assumptions, conflict_limit=conflict_limit)
+        assumptions.append(session.literal(net, bool(value)))
+    status = session.solve(assumptions=assumptions, phase="confirm")
     return status is False
 
 
@@ -227,12 +228,15 @@ def fall_attack(
     conflict_limit: Optional[int] = 100_000,
     oracle_circuit: Optional[Circuit] = None,
     verify_with_oracle: bool = False,
+    solver_backend: str = DEFAULT_BACKEND,
 ) -> FallReport:
     """Run the FALL attack and return a :class:`FallReport`.
 
     ``verify_with_oracle`` additionally checks confirmed keys against the
     original circuit (not part of the published oracle-less attack; useful in
-    tests).
+    tests).  ``solver_backend`` selects the CDCL backend of the confirmation
+    sessions; their aggregated telemetry lands in
+    ``report.details["solver"]``.
     """
     if isinstance(locked, LockedCircuit):
         circuit = locked.circuit
@@ -243,6 +247,8 @@ def fall_attack(
     view = circuit.combinational_view() if circuit.dffs else circuit
 
     report = FallReport(circuit_name=circuit.name)
+    telemetry = SolverTelemetry(backend=solver_backend)
+    report.details["solver"] = telemetry.to_dict()
     key_set = set(view.key_inputs)
     if not key_set:
         report.cpu_time = time.monotonic() - start
@@ -280,6 +286,7 @@ def fall_attack(
             confirmed = _confirm_candidate(
                 view, unit["net"], comparator["net"], candidate,
                 conflict_limit=conflict_limit,
+                solver_backend=solver_backend, telemetry=telemetry,
             )
             if confirmed and verify_with_oracle and oracle_circuit is not None:
                 verdict = random_equivalence_check(
@@ -290,5 +297,6 @@ def fall_attack(
                 report.confirmed_keys.append(candidate)
 
     report.details["prefiltered_candidates"] = prefiltered
+    report.details["solver"] = telemetry.to_dict()
     report.cpu_time = time.monotonic() - start
     return report

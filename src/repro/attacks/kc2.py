@@ -17,6 +17,7 @@ from repro.attacks.results import AttackResult
 from repro.attacks.sequential_core import sequential_oracle_guided_attack
 from repro.locking.base import LockedCircuit
 from repro.netlist.circuit import Circuit
+from repro.sat.session import DEFAULT_BACKEND
 
 
 def int_attack(
@@ -31,6 +32,7 @@ def int_attack(
     dis_batch: int = 8,
     key_batch: int = 8,
     engine: str = "packed",
+    solver_backend: str = DEFAULT_BACKEND,
 ) -> AttackResult:
     """Run the incremental unrolling attack (NEOS ``int`` equivalent).
 
@@ -53,6 +55,7 @@ def int_attack(
         dis_batch=dis_batch,
         key_batch=key_batch,
         engine=engine,
+        solver_backend=solver_backend,
     )
 
 
@@ -68,6 +71,7 @@ def kc2_attack(
     dis_batch: int = 8,
     key_batch: int = 8,
     engine: str = "packed",
+    solver_backend: str = DEFAULT_BACKEND,
 ) -> AttackResult:
     """Run the key-condition-crunching attack (NEOS ``kc2`` equivalent).
 
@@ -88,4 +92,5 @@ def kc2_attack(
         dis_batch=dis_batch,
         key_batch=key_batch,
         engine=engine,
+        solver_backend=solver_backend,
     )

@@ -36,7 +36,7 @@ from repro.attacks.results import AttackOutcome, AttackResult
 from repro.engine.batch_oracle import BatchedCombinationalOracle
 from repro.locking.base import LockedCircuit
 from repro.netlist.circuit import Circuit, CircuitError
-from repro.sat.solver import Solver
+from repro.sat.session import DEFAULT_BACKEND, SolveSession
 from repro.sat.tseitin import TseitinEncoder
 from repro.sim.equivalence import random_equivalence_check
 
@@ -50,21 +50,6 @@ def _as_locked_pair(
     if oracle_circuit is None:
         raise ValueError("an oracle circuit is required when passing a bare Circuit")
     return locked, oracle_circuit
-
-
-class _IncrementalCnf:
-    """Keeps a Solver in sync with a growing CNF built by a TseitinEncoder."""
-
-    def __init__(self) -> None:
-        self.encoder = TseitinEncoder()
-        self.solver = Solver()
-        self._synced = 0
-
-    def sync(self) -> None:
-        clauses = self.encoder.cnf.clauses
-        if self._synced < len(clauses):
-            self.solver.add_clauses(clauses[self._synced:])
-            self._synced = len(clauses)
 
 
 class _DipHarvester:
@@ -81,17 +66,15 @@ class _DipHarvester:
 
     def __init__(
         self,
-        inc: _IncrementalCnf,
+        session: SolveSession,
         diff_literal: int,
         functional_nets: List[str],
-        conflict_limit: Optional[int],
         deadline: float,
         max_iterations: int,
     ) -> None:
-        self.inc = inc
+        self.session = session
         self.diff_literal = diff_literal
         self.functional_nets = list(functional_nets)
-        self.conflict_limit = conflict_limit
         self.deadline = deadline
         self.max_iterations = max_iterations
         self.iterations = 0
@@ -101,16 +84,14 @@ class _DipHarvester:
 
     def round(self, quota: int) -> List[Dict[str, int]]:
         """Harvest up to ``quota`` distinct DIPs; see the class docstring."""
-        inc = self.inc
+        session = self.session
         self.solver_limited = False
-        inc.sync()
         harvested: List[Dict[str, int]] = []
         block_assumptions: List[int] = []
         while True:
-            status = inc.solver.solve(
+            status = session.solve(
                 assumptions=[self.diff_literal] + block_assumptions,
-                conflict_limit=self.conflict_limit,
-                time_limit=max(self.deadline - time.monotonic(), 0.001),
+                phase="dip-search",
             )
             if status is None:
                 self.solver_limited = True
@@ -120,7 +101,7 @@ class _DipHarvester:
                 self.converged = not block_assumptions
                 break
             self.iterations += 1
-            dip = _extract_dip(inc.encoder, inc.solver.model(), self.functional_nets)
+            dip = _extract_dip(session.encoder, session.model(), self.functional_nets)
             harvested.append(dip)
             if (len(harvested) >= quota
                     or self.iterations >= self.max_iterations
@@ -128,10 +109,9 @@ class _DipHarvester:
                 break
             self.blocking_clauses += 1
             block_assumptions.append(
-                _block_dip(inc.encoder, self.functional_nets, dip,
+                _block_dip(session.encoder, self.functional_nets, dip,
                            f"__dip_block_{self.blocking_clauses}")
             )
-            inc.sync()
         return harvested
 
 
@@ -187,6 +167,7 @@ def sat_attack(
     verify_vectors: int = 256,
     dip_batch: int = 8,
     engine: str = "packed",
+    solver_backend: str = DEFAULT_BACKEND,
     attack_name: str = "sat",
 ) -> AttackResult:
     """Run the combinational oracle-guided SAT attack.
@@ -211,6 +192,9 @@ def sat_attack(
         ``"packed"`` (default) enables batched DIP harvesting;
         ``"scalar"`` forces ``dip_batch=1`` and keeps the original
         one-DIP-per-solver-call reference path.
+    solver_backend:
+        Registry name of the session's solver backend (``"cdcl"`` or the
+        arena-tuned ``"cdcl-arena"``; see :mod:`repro.sat.session`).
     """
     if engine not in ("packed", "scalar"):
         raise ValueError(f"unknown engine {engine!r} (expected 'packed' or 'scalar')")
@@ -245,8 +229,11 @@ def sat_attack(
             details={"reason": "locked circuit and oracle share no outputs"},
         )
 
-    inc = _IncrementalCnf()
-    encoder, solver = inc.encoder, inc.solver
+    deadline = start + time_limit
+    session = SolveSession(
+        solver_backend, conflict_limit=conflict_limit, deadline=deadline
+    )
+    encoder = session.encoder
 
     # Two key copies of the locked circuit sharing functional inputs
     # (everything else is privatised by the per-copy prefixes).
@@ -262,13 +249,9 @@ def sat_attack(
 
     dip_rounds = 0
     constraint_tag = 0
-    deadline = start + time_limit
     harvester = _DipHarvester(
-        inc, diff_literal, functional_nets, conflict_limit, deadline, max_iterations
+        session, diff_literal, functional_nets, deadline, max_iterations
     )
-
-    def remaining() -> float:
-        return max(0.0, deadline - time.monotonic())
 
     def finish(outcome: AttackOutcome, key: Optional[Dict[str, int]] = None, **details) -> AttackResult:
         return AttackResult(
@@ -279,9 +262,9 @@ def sat_attack(
             runtime_seconds=time.monotonic() - start,
             details={
                 "oracle_queries": oracle.queries,
-                "solver_conflicts": solver.stats.conflicts,
                 "engine": engine,
                 "dip_rounds": dip_rounds,
+                "solver": session.telemetry.to_dict(),
                 **details,
             },
         )
@@ -329,8 +312,7 @@ def sat_attack(
         return finish(AttackOutcome.TIMEOUT, reason="iteration limit reached")
 
     # DIP loop converged: extract a key consistent with every observation.
-    inc.sync()
-    status = solver.solve(conflict_limit=conflict_limit, time_limit=max(remaining(), 0.001))
+    status = session.solve(phase="key-extract")
     if status is None:
         return finish(AttackOutcome.TIMEOUT, reason="solver limit during key extraction")
     if status is False:
@@ -338,7 +320,7 @@ def sat_attack(
         # the lock (one key applied at all times) cannot explain the chip.
         return finish(AttackOutcome.CNS, reason="no static key satisfies all DIP constraints")
 
-    model = solver.model()
+    model = session.model()
     key = {
         net: model.get(encoder.varmap.get(f"A@{net}", -1), 0) for net in key_nets
     }

@@ -57,7 +57,7 @@ from repro.engine.batch_oracle import BatchedSequentialOracle
 from repro.engine.equivalence import packed_candidate_key_filter
 from repro.locking.base import LockedCircuit, pack_key_bits
 from repro.netlist.circuit import Circuit
-from repro.sat.solver import Solver
+from repro.sat.session import DEFAULT_BACKEND, SolveSession, SolverTelemetry
 from repro.sat.tseitin import TseitinEncoder
 from repro.sim.equivalence import sequential_equivalence_check
 
@@ -115,12 +115,24 @@ def _block_input_sequence(
 
 
 class _DepthAttackState:
-    """Encoder/solver pair plus bookkeeping for one unroll depth."""
+    """Solve session plus unrolling bookkeeping for one unroll depth."""
 
-    def __init__(self, locked: Circuit, shared_outputs: Sequence[str], depth: int) -> None:
-        self.encoder = TseitinEncoder()
-        self.solver = Solver()
-        self._synced = 0
+    def __init__(
+        self,
+        locked: Circuit,
+        shared_outputs: Sequence[str],
+        depth: int,
+        *,
+        solver_backend: str = DEFAULT_BACKEND,
+        conflict_limit: Optional[int] = None,
+        deadline: Optional[float] = None,
+        telemetry: Optional[SolverTelemetry] = None,
+    ) -> None:
+        self.session = SolveSession(
+            solver_backend, conflict_limit=conflict_limit, deadline=deadline,
+            telemetry=telemetry,
+        )
+        self.encoder = self.session.encoder
         self.depth = depth
         self.locked = locked
         self.shared_outputs = list(shared_outputs)
@@ -159,15 +171,11 @@ class _DepthAttackState:
         self.diff_net = self._encode_diff()
 
     def sync(self) -> None:
-        clauses = self.encoder.cnf.clauses
-        if self._synced < len(clauses):
-            self.solver.add_clauses(clauses[self._synced:])
-            self._synced = len(clauses)
+        self.session.sync()
 
     def fresh_solver(self) -> None:
         """Rebuild the solver from scratch (the non-incremental "BBO" mode)."""
-        self.solver = Solver()
-        self._synced = 0
+        self.session.reset_solver()
 
     def add_observation(
         self,
@@ -224,6 +232,7 @@ def sequential_oracle_guided_attack(
     dis_batch: int = 8,
     key_batch: int = 8,
     engine: str = "packed",
+    solver_backend: str = DEFAULT_BACKEND,
 ) -> AttackResult:
     """Run the shared sequential attack skeleton (see module docstring).
 
@@ -231,7 +240,9 @@ def sequential_oracle_guided_attack(
     single batched oracle query answers them all; ``key_batch`` bounds how
     many candidate keys are enumerated for the packed prefilter at key
     extraction.  ``engine="scalar"`` forces both to 1 and keeps the original
-    scalar-oracle, rebuild-per-depth reference path.
+    scalar-oracle, rebuild-per-depth reference path.  ``solver_backend``
+    selects the CDCL backend every depth's session is built from; the
+    accumulated telemetry lands in ``details["solver"]``.
     """
     if engine not in ("packed", "scalar"):
         raise ValueError(f"unknown engine {engine!r} (expected 'packed' or 'scalar')")
@@ -262,13 +273,15 @@ def sequential_oracle_guided_attack(
     last_candidate: Optional[Dict[str, int]] = None
     observations: List[Tuple[List[Dict[str, int]], List[Dict[str, int]]]] = []
     prefiltered_keys = 0
+    telemetry = SolverTelemetry(backend=solver_backend)
 
     def finish(outcome: AttackOutcome, key: Optional[Dict[str, int]] = None, **details) -> AttackResult:
         return AttackResult(
             attack=attack_name, outcome=outcome, key=key, iterations=total_iterations,
             runtime_seconds=time.monotonic() - start,
             details={"oracle_queries": oracle.queries, "engine": engine,
-                     "prefiltered_keys": prefiltered_keys, **details},
+                     "prefiltered_keys": prefiltered_keys,
+                     "solver": telemetry.to_dict(), **details},
         )
 
     def verify(candidate: Dict[str, int]) -> bool:
@@ -286,8 +299,15 @@ def sequential_oracle_guided_attack(
             state.depth,
         )
 
+    def new_state(depth: int) -> _DepthAttackState:
+        return _DepthAttackState(
+            locked_circuit, shared_outputs, depth,
+            solver_backend=solver_backend, conflict_limit=conflict_limit,
+            deadline=deadline, telemetry=telemetry,
+        )
+
     depth = initial_depth
-    state = _DepthAttackState(locked_circuit, shared_outputs, depth)
+    state = new_state(depth)
     while depth <= max_depth:
         # Adaptive harvesting: start each depth with single-DIS rounds and
         # double the quota only while rounds keep filling it, so easy
@@ -312,11 +332,10 @@ def sequential_oracle_guided_attack(
             converged = False
             solver_limited = False
             while True:
-                status = state.solver.solve(
+                status = state.session.solve(
                     assumptions=[state.encoder.literal(state.diff_net, True)]
                     + block_assumptions,
-                    conflict_limit=conflict_limit,
-                    time_limit=max(deadline - time.monotonic(), 0.001),
+                    phase="dis-search",
                 )
                 if status is None:
                     solver_limited = True
@@ -326,7 +345,7 @@ def sequential_oracle_guided_attack(
                     converged = not block_assumptions
                     break
                 total_iterations += 1
-                dis = extract_dis(state, state.solver.model())
+                dis = extract_dis(state, state.session.model())
                 harvested.append(dis)
                 if (len(harvested) >= round_quota
                         or total_iterations >= max_iterations
@@ -355,7 +374,7 @@ def sequential_oracle_guided_attack(
                         observations.append((dis, responses))
                     state.add_observation(functional_inputs, dis, responses)
                 if crunch_keys:
-                    _crunch_key_conditions(state, key_nets, conflict_limit, deadline)
+                    _crunch_key_conditions(state, key_nets, deadline)
             elif solver_limited:
                 return finish(AttackOutcome.TIMEOUT, reason="solver limit during DIS search",
                               depth=depth)
@@ -363,11 +382,7 @@ def sequential_oracle_guided_attack(
                 break
 
         # No DIS left at this depth: extract consistent static key candidates.
-        state.sync()
-        status = state.solver.solve(
-            conflict_limit=conflict_limit,
-            time_limit=max(deadline - time.monotonic(), 0.001),
-        )
+        status = state.session.solve(phase="key-extract")
         if status is None:
             return finish(AttackOutcome.TIMEOUT, reason="solver limit during key extraction",
                           depth=depth)
@@ -382,7 +397,7 @@ def sequential_oracle_guided_attack(
                 for net in key_nets
             }
 
-        candidates = [extract_key(state.solver.model())]
+        candidates = [extract_key(state.session.model())]
         # Enumerate further consistent keys for the packed prefilter, again
         # behind activation literals so the blocks die with this round.
         key_block_assumptions: List[int] = []
@@ -397,15 +412,13 @@ def sequential_oracle_guided_attack(
                    for net in key_nets]
             )
             key_block_assumptions.append(act_literal)
-            state.sync()
-            status = state.solver.solve(
+            status = state.session.solve(
                 assumptions=key_block_assumptions,
-                conflict_limit=conflict_limit,
-                time_limit=max(deadline - time.monotonic(), 0.001),
+                phase="key-extract",
             )
             if status is not True:
                 break
-            candidate = extract_key(state.solver.model())
+            candidate = extract_key(state.session.model())
             if candidate in candidates:
                 break
             candidates.append(candidate)
@@ -430,7 +443,7 @@ def sequential_oracle_guided_attack(
         else:
             # Scalar reference path: rebuild at the new depth and replay
             # the observations gathered at smaller depths.
-            state = _DepthAttackState(locked_circuit, shared_outputs, depth)
+            state = new_state(depth)
             for dis, responses in observations:
                 state.add_observation(functional_inputs, dis[:depth], responses[:depth])
 
@@ -442,32 +455,26 @@ def sequential_oracle_guided_attack(
 def _crunch_key_conditions(
     state: _DepthAttackState,
     key_nets: Sequence[str],
-    conflict_limit: Optional[int],
     deadline: float,
 ) -> None:
     """KC2-style simplification: permanently fix key bits implied by the
     observations accumulated so far (both for the A and B key copies)."""
-    state.sync()
     for prefix in ("KA@", "KB@"):
         for net in key_nets:
             # Each probe is cheap but there are 2x|key| of them: clamp every
             # probe (recomputed per solve, the first may eat the budget) to
-            # the attack's remaining wall-clock so crunching cannot overshoot
-            # the deadline.
-            remaining = deadline - time.monotonic()
-            if remaining <= 0:
+            # 0.5s (the session clamps to the attack's remaining wall-clock
+            # on top) so crunching cannot overshoot the deadline.
+            if time.monotonic() >= deadline:
                 return
             literal = state.encoder.literal(f"{prefix}{net}", True)
-            can_be_true = state.solver.solve(
-                assumptions=[literal], conflict_limit=conflict_limit,
-                time_limit=min(0.5, remaining),
+            can_be_true = state.session.solve(
+                assumptions=[literal], phase="crunch", time_limit=0.5,
             )
-            remaining = deadline - time.monotonic()
-            if remaining <= 0:
+            if time.monotonic() >= deadline:
                 return
-            can_be_false = state.solver.solve(
-                assumptions=[-literal], conflict_limit=conflict_limit,
-                time_limit=min(0.5, remaining),
+            can_be_false = state.session.solve(
+                assumptions=[-literal], phase="crunch", time_limit=0.5,
             )
             if can_be_true is False and can_be_false is True:
                 state.encoder.cnf.add_clause([-literal])

@@ -48,7 +48,9 @@ from repro.campaign.store import (
     STATUS_ERROR,
     STATUS_TIMEOUT,
     MergeSummary,
+    MergeVerificationError,
     ResultStore,
+    measured_job_costs,
     merge_sources,
     merge_stores,
     read_records,
@@ -62,6 +64,7 @@ __all__ = [
     "JobSpec",
     "JobTimeout",
     "MergeSummary",
+    "MergeVerificationError",
     "ResultStore",
     "RunSummary",
     "STATUS_COMPLETED",
@@ -73,6 +76,7 @@ __all__ = [
     "execute_job_attempt",
     "job_deadline",
     "job_key",
+    "measured_job_costs",
     "merge_sources",
     "merge_stores",
     "progress_printer",

@@ -24,9 +24,13 @@ worker that dies outright (segfault, OOM-kill) breaks the pool; the executor
 records nothing for jobs that already finished (their records were appended
 as they completed), rebuilds the pool, retries each not-yet-recorded job
 once, and records an ``error`` row for any job that kills the pool twice.
-Every finished-attempt record carries the attempt's resource metrics:
+Every finished-attempt record carries the attempt's resource metrics —
 ``runtime_seconds`` (wall clock), ``cpu_seconds`` (process CPU time) and
-``max_rss_kb`` (peak RSS via ``getrusage``; None off-POSIX).
+``max_rss_kb`` (peak RSS via ``getrusage``; None off-POSIX) — plus a
+``solver`` block: the attempt-wide :class:`~repro.sat.session.SolverTelemetry` snapshot (decisions/propagations/conflicts/… aggregated
+over every ``SolveSession`` the job created), captured in the process that
+ran the job, so solver-level metrics flow from the CDCL inner loop all the
+way to ``campaign status`` / ``report``.
 
 Resume is a property of the (spec, store) pair, not of this module: jobs
 whose key already has a record in the store are skipped up front (completed
@@ -53,6 +57,7 @@ except ImportError:  # pragma: no cover - non-POSIX platform
 
 from repro.campaign.jobs import execute_job
 from repro.campaign.spec import CampaignSpec, JobSpec, _jsonable
+from repro.sat.session import SolverTelemetry, capture_solver_telemetry
 from repro.campaign.store import (
     STATUS_COMPLETED,
     STATUS_ERROR,
@@ -137,35 +142,36 @@ def execute_job_attempt(
     """
     start = time.perf_counter()
     start_cpu = time.process_time()
-    try:
-        with job_deadline(job_timeout):
-            payload = execute_job(kind, params)
-        # Coerce to plain JSON types *inside* the attempt: a payload holding
-        # e.g. a solver object or a lambda completes identically whether the
-        # job ran in-process or in a pool worker (nothing unpicklable ever
-        # crosses the pool boundary), and a payload JSON cannot coerce at
-        # all (a circular reference) is this job's error row in both modes
-        # rather than a pickling failure in one and a crash in the other.
-        payload = _jsonable(payload)
-        return {
-            "status": STATUS_COMPLETED,
-            "payload": payload,
-            **_resource_fields(start, start_cpu),
-        }
-    except JobTimeout as exc:
-        return {
-            "status": STATUS_TIMEOUT,
-            "error": str(exc),
-            "job_timeout": job_timeout,
-            **_resource_fields(start, start_cpu),
-        }
-    except Exception as exc:
-        return {
-            "status": STATUS_ERROR,
-            "error": f"{type(exc).__name__}: {exc}",
-            "traceback": traceback.format_exc(limit=16),
-            **_resource_fields(start, start_cpu),
-        }
+    with capture_solver_telemetry() as solver_telemetry:
+        try:
+            with job_deadline(job_timeout):
+                payload = execute_job(kind, params)
+            # Coerce to plain JSON types *inside* the attempt: a payload
+            # holding e.g. a solver object or a lambda completes identically
+            # whether the job ran in-process or in a pool worker (nothing
+            # unpicklable ever crosses the pool boundary), and a payload JSON
+            # cannot coerce at all (a circular reference) is this job's error
+            # row in both modes rather than a pickling failure in one and a
+            # crash in the other.
+            payload = _jsonable(payload)
+            record: Record = {"status": STATUS_COMPLETED, "payload": payload}
+        except JobTimeout as exc:
+            record = {
+                "status": STATUS_TIMEOUT,
+                "error": str(exc),
+                "job_timeout": job_timeout,
+            }
+        except Exception as exc:
+            record = {
+                "status": STATUS_ERROR,
+                "error": f"{type(exc).__name__}: {exc}",
+                "traceback": traceback.format_exc(limit=16),
+            }
+    record.update(_resource_fields(start, start_cpu))
+    # Next to the resource metrics: the attempt-wide solver telemetry (zeros
+    # for job kinds that never touched a SolveSession).
+    record["solver"] = solver_telemetry.to_dict()
+    return record
 
 
 def _pool_worker(job: Dict[str, object], job_timeout: Optional[float]) -> Record:
@@ -313,6 +319,7 @@ def _run_pool(
             "runtime_seconds": 0.0,
             "cpu_seconds": 0.0,
             "max_rss_kb": None,
+            "solver": SolverTelemetry().to_dict(),
         }
 
     with ProcessPoolExecutor(max_workers=workers) as pool:
@@ -349,6 +356,7 @@ def _run_pool(
                     "runtime_seconds": 0.0,
                     "cpu_seconds": 0.0,
                     "max_rss_kb": None,
+                    "solver": SolverTelemetry().to_dict(),
                 }
             except Exception as exc:  # noqa: BLE001 - pool survived: job error
                 body = _boundary_error(exc)

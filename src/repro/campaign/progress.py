@@ -17,6 +17,34 @@ from repro.campaign.store import (
 
 
 @dataclass
+class SolverTally:
+    """Aggregate solver telemetry summed over a set of records."""
+
+    solve_calls: int = 0
+    decisions: int = 0
+    propagations: int = 0
+    conflicts: int = 0
+    learned_clauses: int = 0
+    restarts: int = 0
+    solve_seconds: float = 0.0
+    records: int = 0  #: records that carried a solver block
+
+    def add(self, block: object) -> None:
+        """Fold one record's ``solver`` block (ignores records without one)."""
+        if not isinstance(block, dict):
+            return
+        self.records += 1
+        for name in ("solve_calls", "decisions", "propagations", "conflicts",
+                     "learned_clauses", "restarts"):
+            value = block.get(name, 0)
+            if isinstance(value, (int, float)):
+                setattr(self, name, getattr(self, name) + int(value))
+        seconds = block.get("solve_seconds", 0.0)
+        if isinstance(seconds, (int, float)):
+            self.solve_seconds += float(seconds)
+
+
+@dataclass
 class GroupStatus:
     """Latest-record tallies for one aggregation group."""
 
@@ -26,6 +54,7 @@ class GroupStatus:
     timeouts: int = 0
     errors: int = 0
     missing: int = 0
+    solver: SolverTally = field(default_factory=SolverTally)
 
     @property
     def done(self) -> bool:
@@ -43,6 +72,7 @@ class CampaignStatus:
     errors: int = 0
     missing: int = 0
     shard: Optional[str] = None  #: "I/N" when the spec is one shard of a grid
+    solver: SolverTally = field(default_factory=SolverTally)
     groups: List[GroupStatus] = field(default_factory=list)
 
     @property
@@ -78,6 +108,8 @@ def campaign_status(spec: CampaignSpec, store: ResultStore) -> CampaignStatus:
             status.missing += 1
             group.missing += 1
             continue
+        status.solver.add(record.get("solver"))
+        group.solver.add(record.get("solver"))
         state = record.get("status")
         if state == STATUS_COMPLETED:
             status.completed += 1
@@ -105,6 +137,13 @@ def render_status(status: CampaignStatus) -> str:
         f"errors    : {status.errors}",
         f"remaining : {status.remaining}",
     ]
+    if status.solver.records:
+        tally = status.solver
+        lines.append(
+            f"solver    : {tally.conflicts} conflicts, "
+            f"{tally.decisions} decisions, {tally.propagations} propagations "
+            f"({tally.solve_calls} solve calls, {tally.solve_seconds:.1f}s)"
+        )
     if status.groups:
         lines.append("per group :")
         width = max(len(group.group or "-") for group in status.groups)

@@ -160,30 +160,89 @@ class CampaignSpec:
     def jobs_in_group(self, group: str) -> List[JobSpec]:
         return [job for job in self.jobs if job.group == group]
 
-    def shard(self, index: int, count: int) -> "CampaignSpec":
+    def shard(
+        self,
+        index: int,
+        count: int,
+        *,
+        strategy: str = "round-robin",
+        costs: Optional[Mapping[str, float]] = None,
+    ) -> "CampaignSpec":
         """Deterministic ``1``-of-``count`` partition of this campaign.
 
-        Jobs are striped round-robin over **spec order** (job ``i`` lands in
-        shard ``i % count``), so every job belongs to exactly one shard, the
-        union of all shards is the full spec, and — because the stripe is a
-        function of position, not of content — the partition is identical on
-        every host that builds the same spec.  Striping (rather than
-        contiguous blocks) spreads each table's expensive benchmarks across
-        shards, which balances wall-clock without any cost model.
+        Two strategies are available; both are pure functions of the spec
+        (and, for ``"cost"``, of the supplied cost table), so every host that
+        builds the same spec computes the identical partition:
+
+        * ``"round-robin"`` (default) — jobs are striped over **spec order**
+          (job ``i`` lands in shard ``i % count``).  Striping (rather than
+          contiguous blocks) spreads each table's expensive benchmarks across
+          shards, which roughly balances wall-clock without any cost model.
+        * ``"cost"`` — greedy LPT (longest-processing-time-first) partition
+          fed by measured per-job costs, keyed by job key — typically the
+          ``cpu_seconds`` of a previous sweep of the same grid (see
+          :func:`repro.campaign.store.measured_job_costs`).  Jobs are
+          assigned, most expensive first, to the currently lightest shard
+          (ties: lowest shard index), so shards finish together even when a
+          few cells dominate the grid.  Jobs with no measured cost get the
+          mean of the known costs; when ``costs`` has no overlap with the
+          spec at all, the partition **falls back to round-robin**.
 
         The shard keeps the campaign ``name`` (it is the *same* campaign —
-        the manifest always describes the full grid) and records its slice
+        the manifest always describes the full grid), preserves spec order
+        within the shard (aggregation depends on it) and records its slice
         in ``metadata["shard"]`` so status/report output can label it.
         """
         label = shard_label(index, count)  # validates index/count
+        if strategy == "cost":
+            jobs = self._cost_shard_jobs(index, count, costs)
+            applied = "cost" if jobs is not None else "round-robin (no costs)"
+            if jobs is None:
+                jobs = list(self.jobs[index::count])
+        elif strategy == "round-robin":
+            jobs = list(self.jobs[index::count])
+            applied = "round-robin"
+        else:
+            raise ValueError(
+                f"unknown shard strategy {strategy!r}; expected "
+                "'round-robin' or 'cost'"
+            )
         return CampaignSpec(
             name=self.name,
-            jobs=list(self.jobs[index::count]),
+            jobs=jobs,
             metadata={
                 **self.metadata,
-                "shard": {"index": index, "count": count, "label": label},
+                "shard": {"index": index, "count": count, "label": label,
+                          "strategy": applied},
             },
         )
+
+    def _cost_shard_jobs(
+        self, index: int, count: int, costs: Optional[Mapping[str, float]]
+    ) -> Optional[List[JobSpec]]:
+        """Greedy-LPT slice of the spec, or None when no costs overlap."""
+        spec_keys = {job.key for job in self.jobs}
+        known = {
+            key: float(value)
+            for key, value in (costs or {}).items()
+            if key in spec_keys
+        }
+        if not known:
+            return None
+        mean_cost = sum(known.values()) / len(known)
+        weighted = [
+            (known.get(job.key, mean_cost), position, job)
+            for position, job in enumerate(self.jobs)
+        ]
+        # Most expensive first; spec position breaks ties deterministically.
+        weighted.sort(key=lambda item: (-item[0], item[1]))
+        loads = [0.0] * count
+        buckets: List[List[int]] = [[] for _ in range(count)]
+        for cost, position, _job in weighted:
+            target = min(range(count), key=lambda shard: (loads[shard], shard))
+            loads[target] += cost
+            buckets[target].append(position)
+        return [self.jobs[position] for position in sorted(buckets[index])]
 
     def extend(self, jobs: Iterable[JobSpec]) -> None:
         for job in jobs:

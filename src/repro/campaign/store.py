@@ -308,6 +308,7 @@ class MergeSummary:
     duplicates: int = 0       #: exact duplicates dropped (ignoring attempt)
     keys: int = 0             #: distinct job keys in the merged store
     conflicts: int = 0        #: keys with >1 surviving record (latest wins)
+    pruned: List[Path] = field(default_factory=list)  #: shard files deleted by --prune
 
 
 def _record_identity(record: Record) -> str:
@@ -367,9 +368,19 @@ def merge_sources(
     return sources
 
 
+class MergeVerificationError(RuntimeError):
+    """The written canonical store does not cover a source record.
+
+    Raised by ``merge_stores(..., prune=True)`` *before* any shard file is
+    deleted — a failed or unverifiable fold must never destroy its inputs.
+    """
+
+
 def merge_stores(
     root: Union[str, Path],
     extra: Sequence[Union[str, Path]] = (),
+    *,
+    prune: bool = False,
 ) -> MergeSummary:
     """Fold shard stores into the canonical ``results.jsonl`` under ``root``.
 
@@ -380,6 +391,15 @@ def merge_stores(
     per key in that order.  Exact duplicates (same record up to ``attempt``)
     are dropped, which makes the merge idempotent: re-merging the canonical
     file with the shard files it came from is a byte-identical no-op.
+
+    ``prune=True`` deletes the per-shard ``results-*.jsonl`` files inside
+    the store directory after — and only after — the written canonical file
+    has been read back and **verified** to contain every record of every
+    source (up to ``attempt`` renumbering).  If verification fails, a
+    :class:`MergeVerificationError` is raised and nothing is deleted; if the
+    merge itself fails, the exception propagates before any write or
+    deletion.  Extra sources (files or stores copied in from other hosts)
+    are never pruned — only this store's own shard files are.
     """
     root = Path(root)
     sources = merge_sources(root, extra)
@@ -426,4 +446,73 @@ def merge_stores(
     payload = "".join(line + "\n" for line in lines)
     tmp = root / f"{RESULTS_NAME}.tmp.{os.getpid()}"
     durable_replace(tmp, root / RESULTS_NAME, payload)
+
+    if prune:
+        _verify_and_prune(root, sources, summary)
     return summary
+
+
+def _verify_and_prune(
+    root: Path, sources: Sequence[Path], summary: MergeSummary
+) -> None:
+    """Delete ``root``'s shard files once the canonical fold is verified.
+
+    Verification re-reads the canonical file *from disk* (not the in-memory
+    merge state) and checks that every source record's identity — the
+    record minus its shard-local ``attempt`` counter — survived the fold.
+    Only then are the store's own ``results-<shard>.jsonl`` files unlinked;
+    a verification failure refuses with :class:`MergeVerificationError` and
+    leaves every file in place.
+    """
+    canonical = root / RESULTS_NAME
+    merged_identities = {
+        _record_identity(record) for record in read_records(canonical)
+    }
+    for source in sources:
+        if source == canonical:
+            continue
+        for line_number, record in enumerate(read_records(source), start=1):
+            if _record_identity(record) not in merged_identities:
+                raise MergeVerificationError(
+                    f"refusing to prune: record #{line_number} of {source} is "
+                    f"not covered by the merged {canonical}; the fold looks "
+                    "incomplete, so the shard files are kept"
+                )
+    # Delete only shard files that were actually merge sources — a shard
+    # file that appeared after the merge enumerated its sources (a straggler
+    # shard run, a late rsync) was neither folded nor verified, so it must
+    # survive for the next merge.
+    shard_files = set(shard_result_files(root)) & set(sources)
+    for source in sorted(shard_files):
+        try:
+            source.unlink()
+        except OSError as exc:
+            raise MergeVerificationError(
+                f"verified fold but failed to delete shard file {source}: {exc}"
+            ) from exc
+        summary.pruned.append(source)
+    _fsync_directory(root)
+
+
+def measured_job_costs(
+    store: Union["ResultStore", str, Path],
+    *,
+    metric: str = "cpu_seconds",
+) -> Dict[str, float]:
+    """Per-job-key cost table from a store's latest records.
+
+    The returned ``{job key: cost}`` mapping feeds cost-balanced sharding
+    (``CampaignSpec.shard(..., strategy="cost", costs=...)``): run the grid
+    once (or let a partial sweep finish), then shard the next sweep by the
+    measured ``cpu_seconds``.  Records without a usable metric (errors
+    recorded before the job ran, foreign records) are skipped — the shard
+    falls back to the mean cost for those jobs.
+    """
+    if not isinstance(store, ResultStore):
+        store = ResultStore(store)
+    costs: Dict[str, float] = {}
+    for key, record in store.load_index().items():
+        value = record.get(metric)
+        if isinstance(value, (int, float)) and value >= 0:
+            costs[key] = float(value)
+    return costs

@@ -48,6 +48,7 @@ from repro.locking.base import KeySchedule
 from repro.locking.baselines import lock_dklock, lock_harpoon, lock_rll, lock_sarlock, lock_ttlock
 from repro.locking.cutelock_str import CuteLockStr
 from repro.netlist.bench import load_bench, save_bench
+from repro.sat.session import solver_backends
 from repro.synthesis.overhead import analyze_circuit
 
 _ATTACKS: Dict[str, Callable] = {
@@ -124,11 +125,14 @@ def _cmd_attack(args: argparse.Namespace) -> int:
     """
     attack = _ATTACKS[args.attack]
     kwargs: Dict[str, object] = {"time_limit": args.time_limit}
-    if "engine" in inspect.signature(attack).parameters:
+    parameters = inspect.signature(attack).parameters
+    if "engine" in parameters:
         kwargs["engine"] = args.engine
     elif args.engine != "packed":
         print(f"note: {args.attack} has no engine switch; --engine ignored",
               file=sys.stderr)
+    if "solver_backend" in parameters:
+        kwargs["solver_backend"] = args.solver_backend
     try:
         locked = load_bench(args.locked)
         oracle = load_bench(args.oracle)
@@ -219,6 +223,7 @@ def _campaign_spec(args: argparse.Namespace, store) -> "object":
             quick=not args.full,
             attack_time_limit=args.time_limit,
             engine=args.engine,
+            solver_backend=args.solver_backend,
         )
     if store.has_manifest():
         return store.read_manifest()
@@ -243,7 +248,14 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     from repro.experiments.runner import write_report
 
     if args.command_campaign == "merge":
-        summary = merge_stores(args.store, extra=args.sources)
+        from repro.campaign import MergeVerificationError
+
+        try:
+            summary = merge_stores(args.store, extra=args.sources,
+                                   prune=args.prune)
+        except MergeVerificationError as exc:
+            print(f"merge --prune refused: {exc}", file=sys.stderr)
+            return 1
         print(render_merge_summary(summary))
         return 0
 
@@ -258,7 +270,24 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         # manifest a previous run already wrote.
         if args.command_campaign == "run" and store.persistent:
             store.write_manifest(spec)
-        spec = spec.shard(*shard)
+        strategy = getattr(args, "shard_strategy", "round-robin")
+        costs = None
+        if strategy == "cost":
+            # The cost table must be a frozen, shared input: every host (and
+            # every later status/report call) has to compute the identical
+            # partition, and a host's own store is still filling up — so an
+            # explicit prior-sweep store is required, never defaulted.
+            costs_store = getattr(args, "shard_costs", None)
+            if not costs_store:
+                raise SystemExit(
+                    "--shard-strategy cost requires --shard-costs STORE (a "
+                    "prior sweep's store; pass the same one on every host "
+                    "and every status/report call)"
+                )
+            from repro.campaign import measured_job_costs
+
+            costs = measured_job_costs(costs_store)
+        spec = spec.shard(*shard, strategy=strategy, costs=costs)
 
     if args.command_campaign in ("run", "resume"):
         quiet = getattr(args, "quiet", False)
@@ -343,6 +372,11 @@ def build_parser() -> argparse.ArgumentParser:
     attack.add_argument("--engine", default="packed", choices=["packed", "scalar"],
                         help="packed = batched DIP/DIS harvesting (default); "
                              "scalar = bit-exact legacy path")
+    attack.add_argument("--solver-backend", default="cdcl",
+                        choices=list(solver_backends()),
+                        help="CDCL session backend: cdcl = reference solver; "
+                             "cdcl-arena = tuned arena-flattened variant "
+                             "(identical SAT/UNSAT answers)")
     attack.add_argument("--json", nargs="?", const="-", default=None,
                         metavar="PATH",
                         help="emit the full result as JSON (to PATH, or to "
@@ -393,6 +427,19 @@ def build_parser() -> argparse.ArgumentParser:
                             "partition of the grid; results go to "
                             "results-IofN.jsonl, see 'campaign merge')")
 
+    def _shard_strategy_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--shard-strategy", default="round-robin",
+                       choices=["round-robin", "cost"],
+                       help="how --shard partitions the grid: round-robin "
+                            "striping (default) or a greedy LPT partition "
+                            "balanced by measured per-cell cpu_seconds")
+        p.add_argument("--shard-costs", default=None, metavar="STORE",
+                       help="store directory whose records supply the "
+                            "per-cell costs (required with --shard-strategy "
+                            "cost; give every host and every status/report "
+                            "call the SAME store so they all compute the "
+                            "identical partition)")
+
     def _exec_args(p: argparse.ArgumentParser) -> None:
         p.add_argument("--workers", type=int, default=0,
                        help="worker processes (0 = serial in-process)")
@@ -405,6 +452,7 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--quiet", action="store_true",
                        help="suppress per-job progress lines")
         _shard_arg(p)
+        _shard_strategy_args(p)
 
     campaign_run = campaign_sub.add_parser(
         "run", help="start (or continue) a campaign",
@@ -423,6 +471,11 @@ def build_parser() -> argparse.ArgumentParser:
                               help="per-attack time budget in seconds")
     campaign_run.add_argument("--engine", default="packed",
                               choices=["packed", "scalar"])
+    campaign_run.add_argument("--solver-backend", default="cdcl",
+                              choices=list(solver_backends()),
+                              help="CDCL session backend every attack cell "
+                                   "solves through (telemetry is recorded "
+                                   "either way)")
     _exec_args(campaign_run)
     campaign_run.set_defaults(func=_cmd_campaign)
 
@@ -439,6 +492,7 @@ def build_parser() -> argparse.ArgumentParser:
         "status", help="show completed/timeout/error/remaining counts")
     _store_arg(campaign_status_p)
     _shard_arg(campaign_status_p)
+    _shard_strategy_args(campaign_status_p)
     campaign_status_p.set_defaults(func=_cmd_campaign)
 
     campaign_merge = campaign_sub.add_parser(
@@ -454,12 +508,18 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_merge.add_argument(
         "sources", nargs="*", default=[],
         help="extra results files or store directories to fold in")
+    campaign_merge.add_argument(
+        "--prune", action="store_true",
+        help="after a successful fold, verify the canonical store covers "
+             "every source record and then delete this store's shard files "
+             "(refuses, deleting nothing, if verification fails)")
     campaign_merge.set_defaults(func=_cmd_campaign)
 
     campaign_report = campaign_sub.add_parser(
         "report", help="aggregate stored results into the Markdown report")
     _store_arg(campaign_report)
     _shard_arg(campaign_report)
+    _shard_strategy_args(campaign_report)
     campaign_report.add_argument("--output", default=None,
                                  help="report path (default: print to stdout)")
     campaign_report.add_argument("--redact-runtimes", action="store_true",

@@ -18,10 +18,11 @@ campaigns.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Mapping, Optional
 
 from repro.campaign.spec import CampaignSpec, JobSpec
 from repro.campaign.store import ResultStore
+from repro.campaign.progress import SolverTally
 from repro.experiments.figure4 import aggregate_figure4, figure4_jobs
 from repro.experiments.report import ExperimentTable, render_latex_tables
 from repro.experiments.table1 import table1_jobs
@@ -40,32 +41,38 @@ def build_campaign(
     quick: bool = True,
     attack_time_limit: float = 20.0,
     engine: str = "packed",
+    solver_backend: str = "cdcl",
     name: Optional[str] = None,
 ) -> CampaignSpec:
     """Build the campaign spec for one of the named grids.
 
-    ``quick``/``attack_time_limit``/``engine`` parameterise the attack grids
-    exactly like :func:`~repro.experiments.runner.run_all`; per-table seeds
-    and benchmark subsets keep their driver defaults.
+    ``quick``/``attack_time_limit``/``engine``/``solver_backend``
+    parameterise the attack grids exactly like
+    :func:`~repro.experiments.runner.run_all`; per-table seeds and benchmark
+    subsets keep their driver defaults.
     """
     jobs: List[JobSpec] = []
     if grid == "full":
         jobs += table1_jobs()
         jobs += table2_jobs()
-        jobs += table3_jobs(quick=quick, time_limit=attack_time_limit, engine=engine)
-        jobs += table4_jobs(quick=quick, time_limit=attack_time_limit, engine=engine)
-        jobs += table5_jobs(quick=quick)
+        jobs += table3_jobs(quick=quick, time_limit=attack_time_limit, engine=engine,
+                            solver_backend=solver_backend)
+        jobs += table4_jobs(quick=quick, time_limit=attack_time_limit, engine=engine,
+                            solver_backend=solver_backend)
+        jobs += table5_jobs(quick=quick, solver_backend=solver_backend)
         jobs += figure4_jobs(quick=quick)
     elif grid == "table1":
         jobs += table1_jobs()
     elif grid == "table2":
         jobs += table2_jobs()
     elif grid == "table3":
-        jobs += table3_jobs(quick=quick, time_limit=attack_time_limit, engine=engine)
+        jobs += table3_jobs(quick=quick, time_limit=attack_time_limit, engine=engine,
+                            solver_backend=solver_backend)
     elif grid == "table4":
-        jobs += table4_jobs(quick=quick, time_limit=attack_time_limit, engine=engine)
+        jobs += table4_jobs(quick=quick, time_limit=attack_time_limit, engine=engine,
+                            solver_backend=solver_backend)
     elif grid == "table5":
-        jobs += table5_jobs(quick=quick)
+        jobs += table5_jobs(quick=quick, solver_backend=solver_backend)
     elif grid == "figure4":
         jobs += figure4_jobs(quick=quick)
     elif grid == "smoke":
@@ -83,6 +90,7 @@ def build_campaign(
         jobs += table3_jobs(
             benchmarks=["bcomp"], attacks=["INT"],
             time_limit=attack_time_limit, engine=engine,
+            solver_backend=solver_backend,
         )
     else:
         raise ValueError(f"unknown grid {grid!r}; expected one of {GRIDS}")
@@ -94,6 +102,7 @@ def build_campaign(
             "quick": quick,
             "attack_time_limit": attack_time_limit,
             "engine": engine,
+            "solver_backend": solver_backend,
         },
     )
 
@@ -155,7 +164,60 @@ def aggregate_campaign(
             figure_tables, _ = aggregate_figure4(jobs, records)
             for metric, table in figure_tables.items():
                 tables[f"figure4_{metric}"] = table
+    tables["solver"] = solver_telemetry_table(
+        spec, records, redact_runtimes=redact_runtimes
+    )
     return tables
+
+
+def solver_telemetry_table(
+    spec: CampaignSpec,
+    records: Mapping[str, "object"],
+    *,
+    redact_runtimes: bool = False,
+) -> ExperimentTable:
+    """Aggregate the per-record solver telemetry blocks into one table.
+
+    One row per campaign group plus a total row: solve calls, decisions,
+    propagations, conflicts, learned clauses and restarts summed over the
+    group's latest records (jobs that never touched a ``SolveSession`` —
+    sleep fillers, overhead cells — contribute zeros).  This is the campaign
+    end of the telemetry spine that starts in the CDCL inner loop.
+    ``redact_runtimes`` blanks the solve-time column, the one
+    nondeterministic field, so serial and sharded sweeps compare
+    byte-identically.
+    """
+    table = ExperimentTable(
+        name="Solver telemetry",
+        title="Aggregate solver counters per campaign group",
+        columns=["Group", "Jobs", "Solve calls", "Decisions", "Propagations",
+                 "Conflicts", "Learned", "Restarts", "Solve time (s)"],
+    )
+    total = SolverTally()
+    for group in spec.groups():
+        tally = SolverTally()
+        for job in spec.jobs_in_group(group):
+            record = records.get(job.key)
+            if isinstance(record, dict):
+                tally.add(record.get("solver"))
+                total.add(record.get("solver"))
+        table.add_row(**_solver_row(group or "-", tally, redact_runtimes))
+    table.add_row(**_solver_row("total", total, redact_runtimes))
+    return table
+
+
+def _solver_row(label: str, tally: SolverTally, redact_runtimes: bool) -> Dict[str, object]:
+    return {
+        "Group": label,
+        "Jobs": tally.records,
+        "Solve calls": tally.solve_calls,
+        "Decisions": tally.decisions,
+        "Propagations": tally.propagations,
+        "Conflicts": tally.conflicts,
+        "Learned": tally.learned_clauses,
+        "Restarts": tally.restarts,
+        "Solve time (s)": "-" if redact_runtimes else round(tally.solve_seconds, 2),
+    }
 
 
 def campaign_latex(

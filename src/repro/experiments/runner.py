@@ -40,6 +40,7 @@ def run_all(
     store_path: Optional[str] = None,
     job_timeout: Optional[float] = None,
     engine: str = "packed",
+    solver_backend: str = "cdcl",
 ) -> Dict[str, ExperimentTable]:
     """Run every table/figure driver and return the tables by name.
 
@@ -57,7 +58,8 @@ def run_all(
 
     start = time.monotonic()
     spec = build_campaign(
-        "full", quick=quick, attack_time_limit=attack_time_limit, engine=engine
+        "full", quick=quick, attack_time_limit=attack_time_limit, engine=engine,
+        solver_backend=solver_backend,
     )
     store = ResultStore(store_path)
     log(

@@ -56,6 +56,7 @@ def table3_jobs(
     synthesis_style: str = "auto",
     seed: int = 3,
     engine: str = "packed",
+    solver_backend: str = "cdcl",
 ) -> List[JobSpec]:
     """Declare the Table III grid: one job per (benchmark, attack) cell."""
     if benchmarks is None:
@@ -73,6 +74,7 @@ def table3_jobs(
                 "synthesis_style": synthesis_style,
                 "seed": seed,
                 "engine": engine,
+                "solver_backend": solver_backend,
             },
         )
         for name in benchmarks
@@ -103,6 +105,7 @@ def run_table3_cell(params: Mapping[str, object]) -> Dict[str, object]:
         time_limit=float(params.get("time_limit", 20.0)),  # type: ignore[arg-type]
         max_depth=int(params.get("max_depth", 8)),  # type: ignore[arg-type]
         engine=str(params.get("engine", "packed")),
+        solver_backend=str(params.get("solver_backend", "cdcl")),
     )
     return {
         "circuit": name,
@@ -214,6 +217,7 @@ def run_table3(
     synthesis_style: str = "auto",
     seed: int = 3,
     engine: str = "packed",
+    solver_backend: str = "cdcl",
     workers: int = 0,
     store: Union[ResultStore, str, None] = None,
     job_timeout: Optional[float] = None,
@@ -240,6 +244,7 @@ def run_table3(
         quick=quick, benchmarks=benchmarks, attacks=attacks,
         time_limit=time_limit, max_depth=max_depth,
         synthesis_style=synthesis_style, seed=seed, engine=engine,
+        solver_backend=solver_backend,
     )
     spec = CampaignSpec(name="table3", jobs=jobs)
     result_store = store if isinstance(store, ResultStore) else ResultStore(store)

@@ -1,0 +1,338 @@
+"""Unified incremental solving sessions with end-to-end solver telemetry.
+
+Every oracle-guided attack in :mod:`repro.attacks` used to hand-roll its own
+``TseitinEncoder`` + ``Solver`` pair, which meant solver statistics died
+inside each attack and there was no single place to tune or instrument the
+CDCL hot loop.  :class:`SolveSession` is that place:
+
+* **backend registry** — sessions construct their solver through a small
+  name -> factory registry (:func:`register_solver_backend`), shipping the
+  reference CDCL solver as ``"cdcl"`` and the arena-flattened variant
+  (:class:`repro.sat.arena.ArenaSolver`) as ``"cdcl-arena"``;
+* **incremental queries** — the session keeps one encoder and one solver in
+  sync (clauses added to the encoder flow into the solver before each
+  query) and exposes assumption-scoped :meth:`SolveSession.solve` calls;
+* **budget accounting** — a session carries a default per-call conflict
+  limit and an absolute wall-clock deadline; every query is automatically
+  clamped to the remaining budget;
+* **telemetry** — each query folds the solver's counter deltas, the answer
+  and the per-phase wall time into a serializable :class:`SolverTelemetry`,
+  which attacks attach to ``AttackResult.details["solver"]`` and the
+  campaign executor snapshots onto every result record (via
+  :func:`capture_solver_telemetry`) next to ``cpu_seconds``/``max_rss_kb``.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.sat.arena import ArenaSolver
+from repro.sat.solver import Solver
+from repro.sat.tseitin import TseitinEncoder
+
+#: Counter fields shared by SolverStats and SolverTelemetry.
+_COUNTER_FIELDS = (
+    "decisions",
+    "propagations",
+    "conflicts",
+    "learned_clauses",
+    "restarts",
+    "solve_calls",
+)
+
+#: Default backend used when no ``solver_backend`` is requested.
+DEFAULT_BACKEND = "cdcl"
+
+
+@dataclass
+class SolverTelemetry:
+    """Serializable, mergeable solver counters for one session (or many).
+
+    ``phase_seconds`` maps a caller-chosen phase label (``"dip-search"``,
+    ``"key-extract"``, ``"verify"``, …) to the wall-clock seconds spent in
+    solver calls tagged with that phase; ``solve_seconds`` is the total.
+    ``sat`` / ``unsat`` / ``limited`` count the per-call answers (``limited``
+    = the call hit its conflict or time budget and returned ``None``).
+    """
+
+    backend: str = ""
+    decisions: int = 0
+    propagations: int = 0
+    conflicts: int = 0
+    learned_clauses: int = 0
+    restarts: int = 0
+    solve_calls: int = 0
+    sat: int = 0
+    unsat: int = 0
+    limited: int = 0
+    solve_seconds: float = 0.0
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+
+    def note_call(
+        self,
+        deltas: Mapping[str, int],
+        *,
+        answer: Optional[bool],
+        seconds: float,
+        phase: str,
+    ) -> None:
+        """Fold one solver call (counter deltas + outcome) into the totals."""
+        for name in _COUNTER_FIELDS:
+            setattr(self, name, getattr(self, name) + int(deltas.get(name, 0)))
+        if answer is True:
+            self.sat += 1
+        elif answer is False:
+            self.unsat += 1
+        else:
+            self.limited += 1
+        self.solve_seconds += seconds
+        self.phase_seconds[phase] = self.phase_seconds.get(phase, 0.0) + seconds
+
+    def merge(self, other: "SolverTelemetry") -> None:
+        """Fold another telemetry block into this one (aggregation)."""
+        if other.backend:
+            if not self.backend:
+                self.backend = other.backend
+            elif self.backend != other.backend:
+                self.backend = "mixed"
+        for name in _COUNTER_FIELDS + ("sat", "unsat", "limited"):
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        self.solve_seconds += other.solve_seconds
+        for phase, seconds in other.phase_seconds.items():
+            self.phase_seconds[phase] = self.phase_seconds.get(phase, 0.0) + seconds
+
+    def reset(self) -> None:
+        """Zero every counter (the backend label is kept)."""
+        for name in _COUNTER_FIELDS + ("sat", "unsat", "limited"):
+            setattr(self, name, 0)
+        self.solve_seconds = 0.0
+        self.phase_seconds = {}
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form (stored on attack results and campaign records)."""
+        payload: Dict[str, object] = {"backend": self.backend}
+        for name in _COUNTER_FIELDS + ("sat", "unsat", "limited"):
+            payload[name] = getattr(self, name)
+        payload["solve_seconds"] = self.solve_seconds
+        payload["phase_seconds"] = dict(self.phase_seconds)
+        return payload
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "SolverTelemetry":
+        telemetry = cls(backend=str(data.get("backend", "")))
+        for name in _COUNTER_FIELDS + ("sat", "unsat", "limited"):
+            setattr(telemetry, name, int(data.get(name, 0)))  # type: ignore[arg-type]
+        telemetry.solve_seconds = float(data.get("solve_seconds", 0.0))  # type: ignore[arg-type]
+        phases = data.get("phase_seconds", {})
+        if isinstance(phases, Mapping):
+            telemetry.phase_seconds = {
+                str(phase): float(seconds) for phase, seconds in phases.items()  # type: ignore[arg-type]
+            }
+        return telemetry
+
+
+# --------------------------------------------------------------------------- #
+# backend registry
+# --------------------------------------------------------------------------- #
+SolverFactory = Callable[[], object]
+
+_BACKENDS: Dict[str, SolverFactory] = {}
+
+
+def register_solver_backend(
+    name: str, factory: SolverFactory, *, override: bool = False
+) -> None:
+    """Bind ``name`` to a zero-argument solver factory."""
+    if not override and name in _BACKENDS:
+        raise ValueError(f"solver backend {name!r} is already registered")
+    _BACKENDS[name] = factory
+
+
+def solver_backends() -> Tuple[str, ...]:
+    """Registered backend names (sorted, for CLI choices and error text)."""
+    return tuple(sorted(_BACKENDS))
+
+
+def create_solver(backend: str = DEFAULT_BACKEND):
+    """Instantiate a solver through the registry."""
+    factory = _BACKENDS.get(backend)
+    if factory is None:
+        raise ValueError(
+            f"unknown solver backend {backend!r}; registered backends: "
+            f"{', '.join(solver_backends())}"
+        )
+    return factory()
+
+
+register_solver_backend("cdcl", Solver)
+register_solver_backend("cdcl-arena", ArenaSolver)
+
+
+# --------------------------------------------------------------------------- #
+# process-wide capture (the campaign executor's per-attempt snapshot)
+# --------------------------------------------------------------------------- #
+_CAPTURE_FRAMES: List[SolverTelemetry] = []
+
+
+@contextmanager
+def capture_solver_telemetry() -> Iterator[SolverTelemetry]:
+    """Aggregate every session's solver activity inside the ``with`` block.
+
+    The campaign executor wraps each job attempt in this, so every result
+    record carries the attempt's end-to-end solver telemetry no matter how
+    many sessions (attack + verification + …) the job created.  Frames nest:
+    each active frame sees every call.
+    """
+    frame = SolverTelemetry()
+    _CAPTURE_FRAMES.append(frame)
+    try:
+        yield frame
+    finally:
+        # Remove by identity, not ==: two idle frames compare equal (dataclass
+        # equality) and list.remove would pop the wrong one.
+        for index in range(len(_CAPTURE_FRAMES) - 1, -1, -1):
+            if _CAPTURE_FRAMES[index] is frame:
+                del _CAPTURE_FRAMES[index]
+                break
+
+
+# --------------------------------------------------------------------------- #
+# the session
+# --------------------------------------------------------------------------- #
+class SolveSession:
+    """One encoder + one backend solver + budgets + telemetry.
+
+    Parameters
+    ----------
+    backend:
+        Registry name of the solver backend (``"cdcl"``, ``"cdcl-arena"``).
+    encoder:
+        Optional shared :class:`TseitinEncoder` (a fresh one by default).
+    conflict_limit:
+        Default per-call conflict budget (None = unlimited).
+    deadline:
+        Absolute ``time.monotonic()`` deadline every call is clamped to.
+    telemetry:
+        Optional shared :class:`SolverTelemetry` accumulator — pass the same
+        object to several sessions (e.g. RANE's synthesis + verification
+        sides) to aggregate one attack-wide block.
+    """
+
+    def __init__(
+        self,
+        backend: str = DEFAULT_BACKEND,
+        *,
+        encoder: Optional[TseitinEncoder] = None,
+        conflict_limit: Optional[int] = None,
+        deadline: Optional[float] = None,
+        telemetry: Optional[SolverTelemetry] = None,
+    ) -> None:
+        self.backend = backend
+        self.encoder = encoder if encoder is not None else TseitinEncoder()
+        self.solver = create_solver(backend)
+        self.conflict_limit = conflict_limit
+        self.deadline = deadline
+        self.telemetry = telemetry if telemetry is not None else SolverTelemetry()
+        if not self.telemetry.backend:
+            self.telemetry.backend = backend
+        elif self.telemetry.backend != backend:
+            self.telemetry.backend = "mixed"
+        self._synced = 0
+
+    # ------------------------------------------------------------- budgets
+    def set_deadline(self, deadline: Optional[float]) -> None:
+        """Set the absolute ``time.monotonic()`` deadline for later queries."""
+        self.deadline = deadline
+
+    def remaining(self) -> Optional[float]:
+        """Seconds left until the deadline (None when unbounded)."""
+        if self.deadline is None:
+            return None
+        return max(0.0, self.deadline - time.monotonic())
+
+    # -------------------------------------------------------------- clauses
+    def sync(self) -> None:
+        """Flow clauses added to the encoder since the last query into the solver."""
+        clauses = self.encoder.cnf.clauses
+        if self._synced < len(clauses):
+            self.solver.add_clauses(clauses[self._synced:])
+            self._synced = len(clauses)
+
+    def reset_solver(self) -> None:
+        """Rebuild the backend solver from scratch (non-incremental modes).
+
+        The encoder — and the accumulated telemetry — survive; the next
+        :meth:`solve` re-syncs the full CNF into the fresh solver.
+        """
+        self.solver = create_solver(self.backend)
+        self._synced = 0
+
+    # -------------------------------------------------------------- queries
+    def solve(
+        self,
+        assumptions: Optional[Sequence[int]] = None,
+        *,
+        phase: str = "solve",
+        conflict_limit: Optional[int] = None,
+        time_limit: Optional[float] = None,
+    ) -> Optional[bool]:
+        """Sync and run one assumption-scoped query under the session budgets.
+
+        ``conflict_limit`` overrides the session default for this call only;
+        ``time_limit`` is clamped to the session deadline (whichever is
+        tighter), with a small floor so an expired deadline still yields a
+        well-defined ``None`` instead of a zero-length limit.  The call's
+        counter deltas and wall time are folded into the session telemetry
+        under ``phase``, and into every active capture frame.
+        """
+        self.sync()
+        if conflict_limit is None:
+            conflict_limit = self.conflict_limit
+        remaining = self.remaining()
+        if remaining is not None:
+            time_limit = remaining if time_limit is None else min(time_limit, remaining)
+        if time_limit is not None:
+            time_limit = max(time_limit, 0.001)
+
+        stats = self.solver.stats
+        before = {name: getattr(stats, name) for name in _COUNTER_FIELDS}
+        started = time.perf_counter()
+        answer = self.solver.solve(
+            assumptions=assumptions,
+            conflict_limit=conflict_limit,
+            time_limit=time_limit,
+        )
+        seconds = time.perf_counter() - started
+        deltas = {
+            name: getattr(stats, name) - before[name] for name in _COUNTER_FIELDS
+        }
+        self.telemetry.note_call(deltas, answer=answer, seconds=seconds, phase=phase)
+        for frame in _CAPTURE_FRAMES:
+            if not frame.backend:
+                frame.backend = self.backend
+            elif frame.backend != self.backend:
+                frame.backend = "mixed"
+            frame.note_call(deltas, answer=answer, seconds=seconds, phase=phase)
+        return answer
+
+    # --------------------------------------------------------------- models
+    def model(self) -> Dict[int, int]:
+        """The satisfying assignment of the most recent SAT answer."""
+        return self.solver.model()
+
+    def model_value(self, net: str, default: int = 0) -> int:
+        """Value (0/1) of an encoder net under the last model."""
+        var = self.encoder.varmap.get(net)
+        if var is None:
+            return default
+        return self.solver.model().get(var, default)
+
+    # ---------------------------------------------------------- conveniences
+    def literal(self, net: str, value: bool) -> int:
+        return self.encoder.literal(net, value)
+
+    def var(self, net: str) -> int:
+        return self.encoder.var(net)

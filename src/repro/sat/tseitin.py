@@ -184,6 +184,20 @@ class TseitinEncoder:
         for net, value in values.items():
             self.add_value(prefix + net, value)
 
+    def encode_any(self, nets: Sequence[str]) -> str:
+        """Add logic asserting a fresh net true iff any of ``nets`` is true.
+
+        Used to extend comparison networks incrementally: OR a new frame
+        range's difference net with the previous one instead of re-encoding
+        the whole comparator.
+        """
+        if not nets:
+            raise ValueError("encode_any needs at least one net")
+        any_name = f"__any_{len(self.varmap)}"
+        any_var = self.var(any_name)
+        self._encode_or(any_var, [self.var(net) for net in nets])
+        return any_name
+
     def encode_inequality(self, nets_a: Sequence[str], nets_b: Sequence[str]) -> str:
         """Add logic asserting that two equal-length net vectors differ.
 

@@ -187,26 +187,30 @@ def sat_equivalence_check(
     *,
     key_assignment: Optional[Mapping[str, int]] = None,
     conflict_limit: Optional[int] = None,
+    solver_backend: Optional[str] = None,
 ) -> EquivalenceResult:
     """Formal combinational equivalence via a SAT miter.
 
     Returns ``equivalent=True`` when the miter is UNSAT.  Sequential circuits
-    are compared through their scan-access combinational views.  The import
-    of the SAT layer is deferred so :mod:`repro.sim` has no hard dependency
-    on :mod:`repro.sat`.
+    are compared through their scan-access combinational views.  The miter is
+    solved through a :class:`~repro.sat.session.SolveSession` (so the query
+    shows up in any active solver-telemetry capture); ``solver_backend``
+    picks the backend (session default when None).  The import of the SAT
+    layer is deferred so :mod:`repro.sim` has no hard dependency on
+    :mod:`repro.sat`.
     """
     from repro.sat.miter import build_miter
-    from repro.sat.solver import Solver
-    from repro.sat.tseitin import TseitinEncoder
+    from repro.sat.session import DEFAULT_BACKEND, SolveSession
 
     orig_view = original.combinational_view() if original.dffs else original
     cand_view = candidate.combinational_view() if candidate.dffs else candidate
     miter, diff_net = build_miter(orig_view, cand_view)
 
-    encoder = TseitinEncoder()
-    cnf = encoder.encode(miter)
-    solver = Solver()
-    solver.add_clauses(cnf.clauses)
+    session = SolveSession(
+        solver_backend or DEFAULT_BACKEND, conflict_limit=conflict_limit
+    )
+    encoder = session.encoder
+    encoder.encode(miter)
     assumptions: List[int] = [encoder.literal(diff_net, True)]
     key_assignment = dict(key_assignment or {})
     for net, value in key_assignment.items():
@@ -215,11 +219,11 @@ def sat_equivalence_check(
             assumptions.append(encoder.literal(miter_net, bool(value)))
         elif net in encoder.varmap:
             assumptions.append(encoder.literal(net, bool(value)))
-    outcome = solver.solve(assumptions=assumptions, conflict_limit=conflict_limit)
+    outcome = session.solve(assumptions=assumptions, phase="miter-equivalence")
     if outcome is None:
         return EquivalenceResult(equivalent=False, checked=0, method="sat-unknown")
     if outcome:
-        model = solver.model()
+        model = session.model()
         counterexample = {
             net: model.get(var, 0)
             for net, var in encoder.varmap.items()

@@ -249,9 +249,17 @@ class TestFullGridAggregation:
         store = ResultStore(tmp_path / "store")
         run_campaign(spec, store, workers=0)
         tables = aggregate_campaign(spec, store)
-        # The sleep filler group has no aggregator; table3 does.
-        assert set(tables) == {"table3"}
+        # The sleep filler group has no table aggregator; table3 does, and
+        # the aggregate solver-telemetry table always rides along.
+        assert set(tables) == {"table3", "solver"}
         assert tables["table3"].rows[0]["Circuit"] == "bcomp"
+        solver = tables["solver"]
+        assert {"Conflicts", "Decisions", "Propagations"} <= set(solver.columns)
+        by_group = {row["Group"]: row for row in solver.rows}
+        # The sleep fillers solved nothing; the attack cell did.
+        assert by_group["sleep"]["Solve calls"] == 0
+        assert by_group["table3"]["Solve calls"] > 0
+        assert by_group["table3"]["Propagations"] > 0
 
     def test_manifest_json_round_trip_preserves_job_keys(self, tmp_path):
         spec = build_campaign("smoke")

@@ -9,10 +9,12 @@ import pytest
 from repro.campaign import (
     CampaignSpec,
     JobSpec,
+    MergeVerificationError,
     ResultStore,
     campaign_status,
     execute_job_attempt,
     job_key,
+    measured_job_costs,
     merge_stores,
     register_job_kind,
     render_merge_summary,
@@ -104,7 +106,9 @@ class TestSharding:
         assert [j.key for j in shard.jobs] == [j.key for j in again.jobs]
         assert shard.name == spec.name  # same campaign, same manifest
         assert shard.metadata["grid"] == "g"
-        assert shard.metadata["shard"] == {"index": 1, "count": 3, "label": "2of3"}
+        assert shard.metadata["shard"] == {
+            "index": 1, "count": 3, "label": "2of3", "strategy": "round-robin",
+        }
         assert shard_label(1, 3) == "2of3"
 
     def test_invalid_shard_arguments_rejected(self):
@@ -115,6 +119,62 @@ class TestSharding:
             spec.shard(-1, 3)
         with pytest.raises(ValueError):
             spec.shard(0, 0)
+
+    def test_cost_shard_partitions_and_balances(self):
+        spec = CampaignSpec(name="c", jobs=sleep_jobs(8))
+        # One dominant job plus light ones: LPT must isolate the heavy job.
+        costs = {job.key: 1.0 for job in spec.jobs}
+        costs[spec.jobs[0].key] = 100.0
+        shards = [spec.shard(index, 2, strategy="cost", costs=costs)
+                  for index in range(2)]
+        keys = [job.key for shard in shards for job in shard.jobs]
+        assert sorted(keys) == sorted(job.key for job in spec.jobs)  # partition
+        heavy_shard = next(s for s in shards if spec.jobs[0].key
+                           in {j.key for j in s.jobs})
+        # The heavy job's shard gets nothing else; the other shard gets all 7.
+        assert len(heavy_shard.jobs) == 1
+        assert heavy_shard.metadata["shard"]["strategy"] == "cost"
+        # Deterministic: same inputs, same partition.
+        again = spec.shard(0, 2, strategy="cost", costs=costs)
+        assert [j.key for j in again.jobs] == [j.key for j in shards[0].jobs]
+        # Spec order is preserved within each shard (aggregation needs it).
+        position = {job.key: index for index, job in enumerate(spec.jobs)}
+        for shard in shards:
+            order = [position[job.key] for job in shard.jobs]
+            assert order == sorted(order)
+
+    def test_cost_shard_mean_fills_missing_costs(self):
+        spec = CampaignSpec(name="c", jobs=sleep_jobs(6))
+        costs = {spec.jobs[0].key: 10.0, spec.jobs[1].key: 30.0}
+        shards = [spec.shard(index, 3, strategy="cost", costs=costs)
+                  for index in range(3)]
+        keys = [job.key for shard in shards for job in shard.jobs]
+        assert sorted(keys) == sorted(job.key for job in spec.jobs)
+
+    def test_cost_shard_falls_back_to_round_robin_without_costs(self):
+        spec = CampaignSpec(name="c", jobs=sleep_jobs(6))
+        for costs in (None, {}, {"not-a-job-key": 5.0}):
+            for index in range(2):
+                fallback = spec.shard(index, 2, strategy="cost", costs=costs)
+                assert [j.key for j in fallback.jobs] ==                     [j.key for j in spec.shard(index, 2).jobs]
+                assert "round-robin" in fallback.metadata["shard"]["strategy"]
+
+    def test_unknown_shard_strategy_rejected(self):
+        spec = CampaignSpec(name="c", jobs=sleep_jobs(2))
+        with pytest.raises(ValueError, match="unknown shard strategy"):
+            spec.shard(0, 2, strategy="random")
+
+    def test_measured_costs_feed_cost_sharding(self, tmp_path):
+        spec = CampaignSpec(name="c", jobs=sleep_jobs(4))
+        store = ResultStore(tmp_path / "store")
+        run_campaign(spec, store, workers=0, write_manifest=False)
+        costs = measured_job_costs(store)
+        assert set(costs) == {job.key for job in spec.jobs}
+        assert all(value >= 0.0 for value in costs.values())
+        shards = [spec.shard(index, 2, strategy="cost", costs=costs)
+                  for index in range(2)]
+        keys = [job.key for shard in shards for job in shard.jobs]
+        assert sorted(keys) == sorted(job.key for job in spec.jobs)
 
     def test_shard_status_is_labelled(self, tmp_path):
         spec = CampaignSpec(name="demo", jobs=sleep_jobs(4))
@@ -217,6 +277,98 @@ class TestMergeStores:
         (wrong_level / "full").mkdir(parents=True)
         with pytest.raises(FileNotFoundError, match="no results"):
             merge_stores(tmp_path / "store", extra=[wrong_level])
+
+
+class TestMergePrune:
+    def _sharded_store(self, root, count=2, jobs=6):
+        spec = CampaignSpec(name="c", jobs=sleep_jobs(jobs))
+        for index in range(count):
+            run_campaign(
+                spec.shard(index, count),
+                ResultStore(root, shard=shard_label(index, count)),
+                workers=0, write_manifest=False,
+            )
+        return spec
+
+    def test_prune_deletes_shard_files_after_verified_fold(self, tmp_path):
+        root = tmp_path / "store"
+        spec = self._sharded_store(root)
+        shard_files = sorted(root.glob("results-*.jsonl"))
+        assert len(shard_files) == 2
+        summary = merge_stores(root, prune=True)
+        assert sorted(summary.pruned) == shard_files
+        assert not list(root.glob("results-*.jsonl"))
+        assert (root / "results.jsonl").exists()
+        merged = ResultStore(root)
+        assert merged.counts(spec)["missing"] == 0
+        # Re-merging the pruned store is a clean no-op on the canonical file.
+        first = (root / "results.jsonl").read_bytes()
+        merge_stores(root)
+        assert (root / "results.jsonl").read_bytes() == first
+
+    def test_prune_keeps_extra_sources(self, tmp_path):
+        local, remote = tmp_path / "local", tmp_path / "remote"
+        spec = CampaignSpec(name="c", jobs=sleep_jobs(4))
+        run_campaign(spec.shard(0, 2), ResultStore(local, shard="1of2"),
+                     workers=0, write_manifest=False)
+        run_campaign(spec.shard(1, 2), ResultStore(remote, shard="2of2"),
+                     workers=0, write_manifest=False)
+        summary = merge_stores(local, extra=[remote], prune=True)
+        # Local shard file pruned; the copied-in host's store is untouched.
+        assert not list(local.glob("results-*.jsonl"))
+        assert list(remote.glob("results-*.jsonl"))
+        assert summary.records_out == 4
+
+    def test_prune_refuses_when_fold_is_unverifiable(self, tmp_path, monkeypatch):
+        root = tmp_path / "store"
+        self._sharded_store(root)
+        shard_files = sorted(root.glob("results-*.jsonl"))
+
+        import repro.campaign.store as store_module
+
+        original = store_module.durable_replace
+
+        def truncating_replace(tmp, target, payload):
+            # Simulate a torn write: the published canonical file loses its
+            # tail, so it cannot cover every shard record.
+            original(tmp, target, "".join(payload.splitlines(keepends=True)[:1]))
+
+        monkeypatch.setattr(store_module, "durable_replace", truncating_replace)
+        with pytest.raises(MergeVerificationError, match="refusing to prune"):
+            merge_stores(root, prune=True)
+        # Refusal path: every shard file is still there.
+        assert sorted(root.glob("results-*.jsonl")) == shard_files
+
+    def test_prune_spares_straggler_shard_files(self, tmp_path, monkeypatch):
+        """A shard file that appears after the merge enumerated its sources
+        (late rsync, straggler shard run) was neither folded nor verified —
+        prune must leave it for the next merge instead of deleting it."""
+        root = tmp_path / "store"
+        self._sharded_store(root)
+        shard_files = sorted(root.glob("results-*.jsonl"))
+
+        import repro.campaign.store as store_module
+
+        original_sources = store_module.merge_sources
+
+        def sources_missing_straggler(r, extra=()):
+            resolved = original_sources(r, extra)
+            # Pretend the second shard file landed after source enumeration.
+            return [path for path in resolved if path != shard_files[1]]
+
+        monkeypatch.setattr(store_module, "merge_sources",
+                            sources_missing_straggler)
+        summary = merge_stores(root, prune=True)
+        assert summary.pruned == [shard_files[0]]
+        assert not shard_files[0].exists()
+        assert shard_files[1].exists()  # straggler survives for the next fold
+
+    def test_merge_without_prune_keeps_shard_files(self, tmp_path):
+        root = tmp_path / "store"
+        self._sharded_store(root)
+        summary = merge_stores(root)
+        assert summary.pruned == []
+        assert len(list(root.glob("results-*.jsonl"))) == 2
 
 
 class TestResultStore:

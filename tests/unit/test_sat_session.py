@@ -1,0 +1,300 @@
+"""Unit tests for the unified solving layer: backend registry, SolveSession
+semantics, SolverTelemetry serialization/reset and the end-to-end telemetry
+spine (attack details -> campaign records)."""
+
+import time
+
+import pytest
+
+from repro.attacks import (
+    appsat_attack,
+    bmc_attack,
+    double_dip_attack,
+    fall_attack,
+    int_attack,
+    kc2_attack,
+    rane_attack,
+    sat_attack,
+)
+from repro.campaign.executor import execute_job_attempt
+from repro.campaign.jobs import register_job_kind
+from repro.fsm.random_fsm import random_fsm
+from repro.fsm.synthesis import synthesize_fsm
+from repro.locking.baselines import lock_rll
+from repro.locking.cutelock_str import CuteLockStr
+from repro.netlist.circuit import Circuit
+from repro.netlist.gates import GateType
+from repro.sat.arena import ArenaSolver
+from repro.sat.session import (
+    SolveSession,
+    SolverTelemetry,
+    capture_solver_telemetry,
+    create_solver,
+    register_solver_backend,
+    solver_backends,
+)
+from repro.sat.solver import Solver
+
+#: Counter keys every serialized telemetry block must carry.
+TELEMETRY_KEYS = {
+    "backend", "decisions", "propagations", "conflicts", "learned_clauses",
+    "restarts", "solve_calls", "sat", "unsat", "limited", "solve_seconds",
+    "phase_seconds",
+}
+
+
+class TestBackendRegistry:
+    def test_builtin_backends(self):
+        names = solver_backends()
+        assert "cdcl" in names and "cdcl-arena" in names
+        assert isinstance(create_solver("cdcl"), Solver)
+        assert isinstance(create_solver("cdcl-arena"), ArenaSolver)
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ValueError, match="unknown solver backend"):
+            create_solver("minisat")
+        with pytest.raises(ValueError, match="unknown solver backend"):
+            SolveSession("z3")
+
+    def test_register_custom_backend(self):
+        register_solver_backend("cdcl-test-alias", Solver, override=True)
+        assert isinstance(create_solver("cdcl-test-alias"), Solver)
+        with pytest.raises(ValueError, match="already registered"):
+            register_solver_backend("cdcl", Solver)
+
+
+class TestSolverTelemetry:
+    def test_serialization_round_trip(self):
+        telemetry = SolverTelemetry(backend="cdcl-arena")
+        telemetry.note_call(
+            {"decisions": 5, "propagations": 40, "conflicts": 2,
+             "learned_clauses": 2, "restarts": 1, "solve_calls": 1},
+            answer=True, seconds=0.25, phase="dip-search",
+        )
+        telemetry.note_call({}, answer=None, seconds=0.5, phase="key-extract")
+        payload = telemetry.to_dict()
+        assert set(payload) == TELEMETRY_KEYS
+        rebuilt = SolverTelemetry.from_dict(payload)
+        assert rebuilt == telemetry
+        # A JSON round trip (what campaign stores do) is also stable.
+        import json
+
+        assert SolverTelemetry.from_dict(json.loads(json.dumps(payload))) == telemetry
+
+    def test_merge_aggregates_and_tracks_backend(self):
+        a = SolverTelemetry(backend="cdcl")
+        a.note_call({"conflicts": 3, "solve_calls": 1}, answer=False,
+                    seconds=0.1, phase="verify")
+        b = SolverTelemetry(backend="cdcl-arena")
+        b.note_call({"conflicts": 4, "solve_calls": 2}, answer=True,
+                    seconds=0.2, phase="verify")
+        a.merge(b)
+        assert a.conflicts == 7 and a.solve_calls == 3
+        assert a.backend == "mixed"
+        assert a.phase_seconds["verify"] == pytest.approx(0.3)
+
+    def test_reset_zeroes_counters_but_keeps_backend(self):
+        telemetry = SolverTelemetry(backend="cdcl")
+        telemetry.note_call({"decisions": 9, "solve_calls": 1}, answer=True,
+                            seconds=0.7, phase="solve")
+        telemetry.reset()
+        assert telemetry == SolverTelemetry(backend="cdcl")
+        assert telemetry.phase_seconds == {}
+
+
+def _xor_locked_circuit():
+    """One-gate locked circuit: y = a xor k (correct key k=0)."""
+    circuit = Circuit("tiny")
+    circuit.add_input("a")
+    circuit.add_input("k", is_key=True)
+    circuit.add_gate("y", GateType.XOR, ["a", "k"])
+    circuit.add_output("y")
+    return circuit
+
+
+class TestSolveSession:
+    @pytest.mark.parametrize("backend", ["cdcl", "cdcl-arena"])
+    def test_incremental_queries_and_model(self, backend):
+        session = SolveSession(backend)
+        encoder = session.encoder
+        encoder.encode(_xor_locked_circuit())
+        assert session.solve(assumptions=[session.literal("y", True)]) is True
+        model = session.model()
+        a = model[encoder.var("a")]
+        k = model[encoder.var("k")]
+        assert a ^ k == 1
+        # model_value reads the same model through net names.
+        assert session.model_value("a") == a
+        assert session.model_value("k") == k
+        assert session.model_value("__no_such_net__", default=7) == 7
+        # Add a constraint through the encoder: the next solve syncs it.
+        encoder.add_value("k", 0)
+        assert session.solve(
+            assumptions=[session.literal("y", True), session.literal("a", False)]
+        ) is False
+
+    def test_telemetry_accumulates_across_queries_and_resets(self):
+        session = SolveSession("cdcl")
+        session.encoder.cnf.add_clause([1, 2])
+        session.encoder.cnf.add_clause([-1, 2])
+        assert session.solve(phase="alpha") is True
+        assert session.solve(assumptions=[-2], phase="beta") is False
+        telemetry = session.telemetry
+        assert telemetry.solve_calls == 2
+        assert telemetry.sat == 1 and telemetry.unsat == 1
+        assert set(telemetry.phase_seconds) == {"alpha", "beta"}
+        first_props = telemetry.propagations
+
+        # Reset, then query again: counters restart from zero and only the
+        # new activity is recorded.
+        telemetry.reset()
+        assert telemetry.solve_calls == 0 and telemetry.propagations == 0
+        assert session.solve(phase="alpha") is True
+        assert telemetry.solve_calls == 1
+        assert telemetry.sat == 1 and telemetry.unsat == 0
+        assert telemetry.propagations <= max(first_props, 1)
+
+    def test_deadline_clamps_queries(self):
+        session = SolveSession("cdcl", deadline=time.monotonic() - 1.0)
+        assert session.remaining() == 0.0
+        # Hard pigeonhole-ish instance would take a while; the expired
+        # deadline forces the floored 1ms budget, so the call still returns.
+        clauses = []
+        holes, pigeons = 6, 7
+        var = lambda p, h: p * holes + h + 1  # noqa: E731
+        for p in range(pigeons):
+            clauses.append([var(p, h) for h in range(holes)])
+        for h in range(holes):
+            for p1 in range(pigeons):
+                for p2 in range(p1 + 1, pigeons):
+                    clauses.append([-var(p1, h), -var(p2, h)])
+        for clause in clauses:
+            session.encoder.cnf.add_clause(clause)
+        answer = session.solve()
+        assert answer in (None, False)
+        if answer is None:
+            assert session.telemetry.limited == 1
+
+    def test_reset_solver_resyncs_and_keeps_telemetry(self):
+        session = SolveSession("cdcl")
+        session.encoder.cnf.add_clause([1])
+        assert session.solve() is True
+        calls_before = session.telemetry.solve_calls
+        session.reset_solver()
+        assert session.solve(assumptions=[-1]) is False
+        assert session.telemetry.solve_calls == calls_before + 1
+
+    def test_shared_telemetry_across_sessions(self):
+        shared = SolverTelemetry()
+        one = SolveSession("cdcl", telemetry=shared)
+        two = SolveSession("cdcl", telemetry=shared)
+        one.encoder.cnf.add_clause([1])
+        two.encoder.cnf.add_clause([2])
+        one.solve()
+        two.solve()
+        assert shared.solve_calls == 2
+
+    def test_capture_frames_nest(self):
+        with capture_solver_telemetry() as outer:
+            session = SolveSession("cdcl")
+            session.encoder.cnf.add_clause([1])
+            session.solve()
+            with capture_solver_telemetry() as inner:
+                session.solve(assumptions=[-1])
+        assert outer.solve_calls == 2
+        assert inner.solve_calls == 1
+
+    @pytest.mark.parametrize("backend", ["cdcl", "cdcl-arena"])
+    def test_backends_agree_on_key_recovery(self, backend):
+        locked = lock_rll(synthesize_fsm(random_fsm(6, 2, 2, seed=3), style="sop"),
+                          4, seed=1)
+        result = sat_attack(locked, time_limit=30.0, solver_backend=backend)
+        assert result.outcome.value == "correct"
+        assert result.details["solver"]["backend"] == backend
+
+
+class TestAttackTelemetryBlocks:
+    """Every attack kind must report the uniform solver block."""
+
+    @pytest.fixture(scope="class")
+    def rll_locked(self):
+        circuit = synthesize_fsm(random_fsm(6, 2, 2, seed=3), style="sop")
+        return lock_rll(circuit, 4, seed=1)
+
+    @pytest.fixture(scope="class")
+    def str_locked(self):
+        circuit = synthesize_fsm(random_fsm(6, 2, 2, seed=3), style="sop")
+        return CuteLockStr(num_keys=2, key_width=2, num_locked_ffs=1,
+                           seed=0).lock(circuit)
+
+    def _check_block(self, result, *, expect_solving=True):
+        block = result.details["solver"]
+        assert set(block) == TELEMETRY_KEYS
+        if expect_solving:
+            assert block["solve_calls"] >= 1
+            assert block["propagations"] >= 1
+
+    def test_sat_attack_block(self, rll_locked):
+        self._check_block(sat_attack(rll_locked, time_limit=30.0))
+
+    def test_appsat_block(self, rll_locked):
+        self._check_block(appsat_attack(rll_locked, time_limit=30.0))
+
+    def test_double_dip_block(self, rll_locked):
+        self._check_block(double_dip_attack(rll_locked, time_limit=30.0))
+
+    def test_bmc_block(self, str_locked):
+        self._check_block(
+            bmc_attack(str_locked, time_limit=20.0, max_depth=4, max_iterations=8))
+
+    def test_int_block(self, str_locked):
+        self._check_block(
+            int_attack(str_locked, time_limit=20.0, max_depth=4, max_iterations=8))
+
+    def test_kc2_block(self, str_locked):
+        self._check_block(
+            kc2_attack(str_locked, time_limit=20.0, max_depth=4, max_iterations=8))
+
+    def test_rane_block(self, str_locked):
+        result = rane_attack(str_locked, time_limit=20.0, depth=4,
+                             max_iterations=8)
+        self._check_block(result)
+        assert "verify_depth" in result.details
+
+    def test_fall_block(self, str_locked):
+        report = fall_attack(str_locked)
+        block = report.details["solver"]
+        assert set(block) == TELEMETRY_KEYS
+        # FALL only solves when it finds candidates; the block must exist
+        # (and be serialized into the AttackResult view) either way.
+        assert report.to_attack_result().details["solver"] == block
+
+
+class TestCampaignRecordTelemetry:
+    def test_attack_job_record_carries_solver_block(self):
+        def tiny_attack_job(params):
+            circuit = synthesize_fsm(random_fsm(6, 2, 2, seed=3), style="sop")
+            locked = lock_rll(circuit, 4, seed=1)
+            result = sat_attack(locked, time_limit=30.0)
+            return {"result": result.to_dict()}
+
+        register_job_kind("tiny-sat-attack", tiny_attack_job, override=True)
+        record = execute_job_attempt("tiny-sat-attack", {})
+        assert record["status"] == "completed"
+        block = record["solver"]
+        assert set(block) == TELEMETRY_KEYS
+        # The record-level block aggregates every session of the attempt
+        # (attack + verification), so it is at least the attack's own block.
+        attack_block = record["payload"]["result"]["details"]["solver"]
+        assert block["solve_calls"] >= attack_block["solve_calls"]
+        assert block["conflicts"] >= attack_block["conflicts"]
+
+    def test_non_solving_job_record_has_zero_block(self):
+        record = execute_job_attempt("sleep", {"seconds": 0.0})
+        assert record["solver"]["solve_calls"] == 0
+        assert record["solver"]["propagations"] == 0
+
+    def test_failing_job_record_still_carries_block(self):
+        record = execute_job_attempt("sleep", {"fail": True})
+        assert record["status"] == "error"
+        assert set(record["solver"]) == TELEMETRY_KEYS
