@@ -16,6 +16,12 @@ Both must return identical SAT/UNSAT answers; the arena variant must be
   propagation win; the arena backend must still not fall behind the
   reference (>= 1.2x end-to-end here, with healthy margin in practice).
 
+The event-trace subsystem (:mod:`repro.trace`) is gated here too: with no
+active tracer the hooks must cost at most 5% on the BCP cascade (measured as
+the full ``SolveSession`` path against the raw solver), and with tracing ON
+at the default sampling stride a conflict-heavy search run must keep at
+least 75% of its untraced throughput.
+
 Run with:
     PYTHONPATH=src python -m pytest benchmarks/bench_solver_throughput.py -q -s
 
@@ -25,8 +31,10 @@ Set ``REPRO_BENCH_SMOKE=1`` (the CI smoke job does) for a reduced-size run.
 import os
 import random
 import time
+from contextlib import nullcontext
 
-from repro.sat.session import create_solver, solver_backends
+from repro.sat.session import SolveSession, create_solver, solver_backends
+from repro.trace import read_trace_events, trace_to
 
 SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
 
@@ -44,6 +52,11 @@ SEARCH_RATIO_BAR = 1.2
 
 #: Timing repetitions (best-of, to shrug off CI runner noise).
 REPEATS = 3
+
+#: Trace-overhead bars: max slowdown with tracing off (hooks present but no
+#: active writer) and with tracing on at the default sampling stride.
+TRACE_OFF_MAX_SLOWDOWN = 0.05
+TRACE_ON_MAX_SLOWDOWN = 0.25
 
 
 def layered_circuit_cnf(num_inputs=60, num_gates=BCP_GATES, seed=9):
@@ -96,7 +109,7 @@ def search_instances():
     return instances
 
 
-def _bcp_rate(backend):
+def _bcp_rate(backend, repeats=REPEATS):
     clauses, num_inputs = layered_circuit_cnf()
     rng = random.Random(1)
     assumption_sets = [
@@ -104,7 +117,7 @@ def _bcp_rate(backend):
         for _ in range(BCP_QUERIES)
     ]
     best = 0.0
-    for _ in range(REPEATS):
+    for _ in range(repeats):
         solver = create_solver(backend)
         solver.add_clauses(clauses)
         solver.solve(assumptions=assumption_sets[0])  # warm-up
@@ -133,6 +146,61 @@ def _search_rate(backend, answers_out):
         best = max(best, propagations / elapsed)
         if repeat == 0:
             answers_out[backend] = answers
+    return best
+
+
+def _session_bcp_rate(backend, repeats=REPEATS):
+    """BCP-cascade propagation rate through the full SolveSession path.
+
+    No tracer is active, so this is the tracing-OFF shape of the hot loop:
+    hook attributes exist on the solver but every check is a ``None`` test
+    on the (empty, for this workload) conflict branch.
+    """
+    clauses, num_inputs = layered_circuit_cnf()
+    rng = random.Random(1)
+    assumption_sets = [
+        [(v if rng.random() < 0.5 else -v) for v in range(1, num_inputs + 1)]
+        for _ in range(BCP_QUERIES)
+    ]
+    best = 0.0
+    for _ in range(repeats):
+        session = SolveSession(backend)
+        session.solver.add_clauses(clauses)
+        session.solve(assumptions=assumption_sets[0])  # warm-up
+        start = time.perf_counter()
+        before = session.solver.stats.propagations
+        for assumptions in assumption_sets:
+            answer = session.solve(assumptions=assumptions)
+            assert answer is True
+        elapsed = time.perf_counter() - start
+        best = max(best, (session.solver.stats.propagations - before) / elapsed)
+    return best
+
+
+def _session_search_rate(backend, trace_dir=None):
+    """Conflict-heavy search rate through SolveSession, optionally traced.
+
+    With ``trace_dir`` set every repeat records a real trace at the default
+    sampling stride — conflict events, restart events, solve markers — so
+    this measures the full tracing-ON cost, serialisation included.
+    """
+    best = 0.0
+    for repeat in range(REPEATS):
+        tracing = (
+            trace_to(trace_dir / f"search-{backend}-{repeat}.trace.jsonl")
+            if trace_dir is not None
+            else nullcontext()
+        )
+        propagations = 0
+        start = time.perf_counter()
+        with tracing:
+            for clauses in search_instances():
+                session = SolveSession(backend)
+                session.solver.add_clauses(clauses)
+                session.solve(conflict_limit=SEARCH_CONFLICTS)
+                propagations += session.solver.stats.propagations
+        elapsed = time.perf_counter() - start
+        best = max(best, propagations / elapsed)
     return best
 
 
@@ -178,4 +246,53 @@ def test_search_throughput_and_answer_identity():
     assert ratio >= SEARCH_RATIO_BAR, (
         f"cdcl-arena sustained only {ratio:.2f}x the reference backend on "
         f"the search workload (required >= {SEARCH_RATIO_BAR:.1f}x)"
+    )
+
+
+def test_trace_off_overhead_bar():
+    """With no active tracer the session+hooks path costs <= 5% on BCP.
+
+    Measured as interleaved raw/session pairs; the gate is the *best* pair,
+    because shared-runner noise (frequency scaling, neighbours) is one-sided
+    and transient while a real hook-in-the-hot-loop regression would slow
+    every single pair.
+    """
+    pairs = [
+        (_bcp_rate("cdcl-arena", repeats=1),
+         _session_bcp_rate("cdcl-arena", repeats=1))
+        for _ in range(REPEATS)
+    ]
+    raw, off = max(pairs, key=lambda pair: pair[1] / pair[0])
+    slowdown = max(0.0, 1.0 - off / raw)
+    print()
+    print("tracing OFF (session+hooks vs raw solver, BCP cascade, best pair):")
+    print(f"  raw solver : {raw:12,.0f} propagations/s")
+    print(f"  session    : {off:12,.0f} propagations/s")
+    print(f"  slowdown   : {slowdown:.1%}  (bar: <= {TRACE_OFF_MAX_SLOWDOWN:.0%})")
+    assert slowdown <= TRACE_OFF_MAX_SLOWDOWN, (
+        f"tracing-off hooks cost {slowdown:.1%} of BCP throughput in every "
+        f"measured pair (allowed <= {TRACE_OFF_MAX_SLOWDOWN:.0%})"
+    )
+
+
+def test_trace_on_overhead_bar(tmp_path):
+    """Tracing ON at the default stride keeps >= 75% of search throughput."""
+    untraced = _session_search_rate("cdcl-arena")
+    traced = _session_search_rate("cdcl-arena", trace_dir=tmp_path)
+    slowdown = max(0.0, 1.0 - traced / untraced)
+    print()
+    print("tracing ON (default stride, conflict-heavy search):")
+    print(f"  untraced   : {untraced:12,.0f} propagations/s")
+    print(f"  traced     : {traced:12,.0f} propagations/s")
+    print(f"  slowdown   : {slowdown:.1%}  (bar: <= {TRACE_ON_MAX_SLOWDOWN:.0%})")
+    # The traces must also be real: every file parses and carries sampled
+    # conflict events.
+    files = sorted(tmp_path.glob("*.trace.jsonl"))
+    assert files, "tracing-on run produced no trace files"
+    for path in files:
+        kinds = {event.get("kind") for event in read_trace_events(path)}
+        assert "meta" in kinds and "solve-end" in kinds and "conflict" in kinds
+    assert slowdown <= TRACE_ON_MAX_SLOWDOWN, (
+        f"tracing at the default stride cost {slowdown:.1%} of search "
+        f"throughput (allowed <= {TRACE_ON_MAX_SLOWDOWN:.0%})"
     )

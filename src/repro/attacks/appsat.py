@@ -32,6 +32,7 @@ from repro.locking.base import LockedCircuit
 from repro.netlist.circuit import Circuit
 from repro.sat.session import DEFAULT_BACKEND, SolveSession
 from repro.sim.equivalence import random_equivalence_check
+from repro.trace.writer import trace_event
 
 
 def appsat_attack(
@@ -169,12 +170,21 @@ def appsat_attack(
     # overshot it would skip an early-exit opportunity the scalar path took.
     round_quota = 1
     next_settle = settle_rounds
+    harvest_rounds = 0
     while harvester.iterations < max_iterations:
         if time.monotonic() > deadline:
             return finish(AttackOutcome.TIMEOUT, reason="time limit")
 
         quota = min(round_quota, max(1, next_settle - harvester.iterations))
         harvested = harvester.round(quota)
+        harvest_rounds += 1
+        trace_event(
+            "attack-round",
+            attack="appsat",
+            round=harvest_rounds,
+            harvested=len(harvested),
+            iterations=harvester.iterations,
+        )
         if len(harvested) >= quota:
             round_quota = min(round_quota * 2, dip_batch)
         if harvested:

@@ -56,6 +56,7 @@ from repro.locking.base import LockedCircuit, pack_key_bits
 from repro.netlist.circuit import Circuit
 from repro.sat.session import DEFAULT_BACKEND, SolveSession, SolverTelemetry
 from repro.sim.equivalence import sequential_equivalence_check
+from repro.trace.writer import trace_event
 
 
 def rane_attack(
@@ -255,6 +256,14 @@ def rane_attack(
             equivalent = round_equivalent
             break
 
+        trace_event(
+            "attack-round",
+            attack="rane",
+            round=iterations,
+            depth=current_depth,
+            harvested=len(harvested),
+            equivalent=equivalent,
+        )
         if equivalent:
             # Bounded-equivalent at full depth: accept after a final
             # simulation check.

@@ -39,6 +39,7 @@ from repro.netlist.circuit import Circuit, CircuitError
 from repro.sat.session import DEFAULT_BACKEND, SolveSession
 from repro.sat.tseitin import TseitinEncoder
 from repro.sim.equivalence import random_equivalence_check
+from repro.trace.writer import trace_event
 
 
 def _as_locked_pair(
@@ -289,8 +290,17 @@ def sat_attack(
     # would have ruled out, while hard instances ramp up to dip_batch-wide
     # rounds whose oracle answers arrive in one packed pass.
     round_quota = 1
+    harvest_rounds = 0
     while harvester.iterations < max_iterations:
         harvested = harvester.round(round_quota)
+        harvest_rounds += 1
+        trace_event(
+            "attack-round",
+            attack="sat",
+            round=harvest_rounds,
+            harvested=len(harvested),
+            iterations=harvester.iterations,
+        )
         if len(harvested) >= round_quota:
             round_quota = min(round_quota * 2, dip_batch)
         if harvested:

@@ -60,6 +60,7 @@ from repro.netlist.circuit import Circuit
 from repro.sat.session import DEFAULT_BACKEND, SolveSession, SolverTelemetry
 from repro.sat.tseitin import TseitinEncoder
 from repro.sim.equivalence import sequential_equivalence_check
+from repro.trace.writer import trace_event
 
 
 def _as_locked_pair(
@@ -270,6 +271,7 @@ def sequential_oracle_guided_attack(
                             details={"reason": "locked circuit and oracle share no outputs"})
 
     total_iterations = 0
+    harvest_rounds = 0
     last_candidate: Optional[Dict[str, int]] = None
     observations: List[Tuple[List[Dict[str, int]], List[Dict[str, int]]]] = []
     prefiltered_keys = 0
@@ -356,6 +358,15 @@ def sequential_oracle_guided_attack(
                 )
                 state.sync()
 
+            harvest_rounds += 1
+            trace_event(
+                "attack-round",
+                attack=attack_name,
+                round=harvest_rounds,
+                depth=depth,
+                harvested=len(harvested),
+                iterations=total_iterations,
+            )
             if len(harvested) >= round_quota:
                 round_quota = min(round_quota * 2, dis_batch)
             if harvested:

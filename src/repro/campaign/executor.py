@@ -46,9 +46,10 @@ import time
 import traceback
 from concurrent.futures import CancelledError, ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
-from contextlib import contextmanager
+from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Union
 
 try:  # POSIX-only; records carry max_rss_kb = None where it is unavailable
     import resource as _resource
@@ -58,6 +59,7 @@ except ImportError:  # pragma: no cover - non-POSIX platform
 from repro.campaign.jobs import execute_job
 from repro.campaign.spec import CampaignSpec, JobSpec, _jsonable
 from repro.sat.session import SolverTelemetry, capture_solver_telemetry
+from repro.trace.writer import trace_to
 from repro.campaign.store import (
     STATUS_COMPLETED,
     STATUS_ERROR,
@@ -130,6 +132,7 @@ def execute_job_attempt(
     kind: str,
     params: Dict[str, object],
     job_timeout: Optional[float] = None,
+    trace_path: Union[str, Path, None] = None,
 ) -> Record:
     """Run one job attempt in this process and classify the outcome.
 
@@ -139,10 +142,20 @@ def execute_job_attempt(
     (``runtime_seconds`` wall clock, ``cpu_seconds`` process CPU time,
     ``max_rss_kb`` peak RSS).  ``KeyboardInterrupt``/``SystemExit`` still
     propagate so an operator can stop a serial sweep.
+
+    With ``trace_path`` set, the whole attempt runs inside an event-trace
+    capture (see :mod:`repro.trace`): every solver/attack event lands in that
+    file (overwritten on retry — latest attempt wins, like the store index)
+    and the record carries the path under ``"trace"``.
     """
     start = time.perf_counter()
     start_cpu = time.process_time()
-    with capture_solver_telemetry() as solver_telemetry:
+    tracing = (
+        trace_to(trace_path, metadata={"job_kind": kind})
+        if trace_path is not None
+        else nullcontext()
+    )
+    with capture_solver_telemetry() as solver_telemetry, tracing:
         try:
             with job_deadline(job_timeout):
                 payload = execute_job(kind, params)
@@ -171,13 +184,33 @@ def execute_job_attempt(
     # Next to the resource metrics: the attempt-wide solver telemetry (zeros
     # for job kinds that never touched a SolveSession).
     record["solver"] = solver_telemetry.to_dict()
+    if trace_path is not None:
+        record["trace"] = str(trace_path)
     return record
 
 
-def _pool_worker(job: Dict[str, object], job_timeout: Optional[float]) -> Record:
+def job_trace_path(trace_dir: Union[str, Path], key: str) -> Path:
+    """Per-job trace file inside ``trace_dir``.
+
+    Named by the job's content-hash key, so concurrent shards of one
+    campaign (disjoint key sets) never collide and a resumed/retried job
+    overwrites its own stale trace.
+    """
+    return Path(trace_dir) / f"{key}.trace.jsonl"
+
+
+def _pool_worker(
+    job: Dict[str, object],
+    job_timeout: Optional[float],
+    trace_dir: Optional[str] = None,
+) -> Record:
     """Top-level pool target (must be picklable for any start method)."""
+    trace_path = (
+        job_trace_path(trace_dir, str(job["key"])) if trace_dir else None
+    )
     record = execute_job_attempt(
-        str(job["kind"]), dict(job["params"]), job_timeout  # type: ignore[arg-type]
+        str(job["kind"]), dict(job["params"]), job_timeout,  # type: ignore[arg-type]
+        trace_path=trace_path,
     )
     record.update({"key": job["key"], "kind": job["kind"], "group": job["group"]})
     return record
@@ -225,6 +258,7 @@ def run_campaign(
     retry_failed: bool = False,
     progress: Optional[ProgressFn] = None,
     write_manifest: bool = True,
+    trace_dir: Union[str, Path, None] = None,
 ) -> RunSummary:
     """Execute ``spec``'s jobs, appending one record per finished attempt.
 
@@ -241,11 +275,18 @@ def run_campaign(
     progress:
         Optional ``fn(record, finished_count, pending_total)`` callback,
         invoked after each record is appended.
+    trace_dir:
+        Directory for per-job event traces (``<key>.trace.jsonl``, see
+        :mod:`repro.trace`); None disables tracing.  The trace path is
+        recorded on each result record under ``"trace"``.
     """
     if workers < 0:
         raise ValueError(f"workers must be >= 0, got {workers}")
     started = time.perf_counter()
     summary = RunSummary(total=len(spec.jobs))
+    if trace_dir is not None:
+        trace_dir = Path(trace_dir)
+        trace_dir.mkdir(parents=True, exist_ok=True)
     if write_manifest and store.persistent:
         store.write_manifest(spec)
 
@@ -271,9 +312,14 @@ def run_campaign(
 
     if workers == 0:
         for job in pending:
-            finish(job, execute_job_attempt(job.kind, dict(job.params), job_timeout))
+            trace_path = (
+                job_trace_path(trace_dir, job.key) if trace_dir is not None else None
+            )
+            finish(job, execute_job_attempt(
+                job.kind, dict(job.params), job_timeout, trace_path=trace_path,
+            ))
     else:
-        _run_pool(pending, workers, job_timeout, finish)
+        _run_pool(pending, workers, job_timeout, finish, trace_dir)
 
     summary.wall_seconds = time.perf_counter() - started
     return summary
@@ -284,6 +330,7 @@ def _run_pool(
     workers: int,
     job_timeout: Optional[float],
     finish: Callable[[JobSpec, Record], None],
+    trace_dir: Optional[Path] = None,
 ) -> None:
     """Fan ``pending`` out over a process pool, surviving broken pools.
 
@@ -322,9 +369,12 @@ def _run_pool(
             "solver": SolverTelemetry().to_dict(),
         }
 
+    # Pool workers receive the directory (a plain string stays picklable for
+    # any start method) and derive each job's trace path themselves.
+    trace_arg = str(trace_dir) if trace_dir is not None else None
     with ProcessPoolExecutor(max_workers=workers) as pool:
         futures = {
-            pool.submit(_pool_worker, job.to_dict(), job_timeout): job
+            pool.submit(_pool_worker, job.to_dict(), job_timeout, trace_arg): job
             for job in pending
         }
         for future in as_completed(futures):
@@ -343,7 +393,7 @@ def _run_pool(
     order = {job.key: index for index, job in enumerate(pending)}
     for job in sorted(suspects, key=lambda job: order[job.key]):
         with ProcessPoolExecutor(max_workers=1) as pool:
-            future = pool.submit(_pool_worker, job.to_dict(), job_timeout)
+            future = pool.submit(_pool_worker, job.to_dict(), job_timeout, trace_arg)
             try:
                 body = future.result()
             except (CancelledError, BrokenProcessPool) as exc:

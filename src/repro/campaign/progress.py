@@ -28,6 +28,7 @@ class SolverTally:
     restarts: int = 0
     solve_seconds: float = 0.0
     records: int = 0  #: records that carried a solver block
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
 
     def add(self, block: object) -> None:
         """Fold one record's ``solver`` block (ignores records without one)."""
@@ -42,6 +43,21 @@ class SolverTally:
         seconds = block.get("solve_seconds", 0.0)
         if isinstance(seconds, (int, float)):
             self.solve_seconds += float(seconds)
+        phases = block.get("phase_seconds")
+        if isinstance(phases, dict):
+            for phase, value in phases.items():
+                if isinstance(value, (int, float)):
+                    label = str(phase)
+                    self.phase_seconds[label] = (
+                        self.phase_seconds.get(label, 0.0) + float(value)
+                    )
+
+    @property
+    def conflict_rate(self) -> float:
+        """Conflicts per solver second across the tallied records."""
+        if self.solve_seconds <= 0.0:
+            return 0.0
+        return self.conflicts / self.solve_seconds
 
 
 @dataclass
@@ -139,11 +155,27 @@ def render_status(status: CampaignStatus) -> str:
     ]
     if status.solver.records:
         tally = status.solver
+        rate = (
+            f", {tally.conflict_rate:,.0f} conflicts/s"
+            if tally.solve_seconds > 0 else ""
+        )
         lines.append(
             f"solver    : {tally.conflicts} conflicts, "
             f"{tally.decisions} decisions, {tally.propagations} propagations "
-            f"({tally.solve_calls} solve calls, {tally.solve_seconds:.1f}s)"
+            f"({tally.solve_calls} solve calls, {tally.solve_seconds:.1f}s{rate})"
         )
+        if tally.phase_seconds:
+            # The live line: where solver time is going right now, from the
+            # latest telemetry snapshot of every finished job so far — not
+            # just an end-of-sweep aggregate.
+            phases = ", ".join(
+                f"{phase} {seconds:.1f}s"
+                for phase, seconds in sorted(
+                    tally.phase_seconds.items(),
+                    key=lambda item: (-item[1], item[0]),
+                )
+            )
+            lines.append(f"phases    : {phases}")
     if status.groups:
         lines.append("per group :")
         width = max(len(group.group or "-") for group in status.groups)

@@ -36,12 +36,12 @@ import json
 import os
 import re
 import time
-import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Sequence, Union
 
 from repro.campaign.spec import CampaignSpec, _jsonable
+from repro.jsonutil import read_jsonl_objects
 
 MANIFEST_NAME = "manifest.json"
 RESULTS_NAME = "results.jsonl"
@@ -96,43 +96,12 @@ def read_records(path: Union[str, Path]) -> List[Record]:
     undecodable line anywhere *else* is mid-file corruption: the line is
     still skipped (the rest of the file is usable) but a warning naming the
     file and line number is emitted, so records never vanish without a trace.
+    The policy itself lives in :func:`repro.jsonutil.read_jsonl_objects` and
+    is shared with the trace reader.
     """
-    path = Path(path)
-    with path.open("r", encoding="utf-8") as handle:
-        lines = handle.readlines()
-    last_content = max(
-        (i for i, line in enumerate(lines) if line.strip()), default=-1
+    return read_jsonl_objects(
+        path, label="result record", file_label="store file"
     )
-    records: List[Record] = []
-    for index, line in enumerate(lines):
-        line = line.strip()
-        if not line:
-            continue
-        try:
-            record = json.loads(line)
-        except json.JSONDecodeError as exc:
-            if index == last_content:
-                # Half-written trailing line from a killed run; every
-                # complete record before it is still usable.
-                continue
-            warnings.warn(
-                f"{path}:{index + 1}: dropping undecodable result record "
-                f"({exc}); the store file is corrupt mid-file, not merely "
-                "truncated — earlier/later records are kept",
-                RuntimeWarning,
-                stacklevel=2,
-            )
-            continue
-        if isinstance(record, dict):
-            records.append(record)
-        else:
-            warnings.warn(
-                f"{path}:{index + 1}: dropping non-object result record "
-                f"of type {type(record).__name__}",
-                RuntimeWarning,
-                stacklevel=2,
-            )
-    return records
 
 
 class ResultStore:

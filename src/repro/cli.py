@@ -17,6 +17,9 @@ Python:
   Sweeps shard across processes and hosts with ``--shard I/N``; ``campaign
   merge`` folds the per-shard stores back into one canonical store and
   ``campaign report --latex`` emits the paper's tables from it.
+* ``trace``     — analyse structured event traces recorded with ``attack
+  --trace`` / ``campaign run --trace`` (``trace summary|timeline|diff``,
+  see :mod:`repro.trace` and ``TRACE_FORMAT.md``).
 """
 
 from __future__ import annotations
@@ -133,10 +136,27 @@ def _cmd_attack(args: argparse.Namespace) -> int:
               file=sys.stderr)
     if "solver_backend" in parameters:
         kwargs["solver_backend"] = args.solver_backend
+    trace_path: Optional[Path] = None
+    if args.trace:
+        # Name by attack + backend so the cdcl and cdcl-arena traces of the
+        # same job coexist in one directory, ready for `repro trace diff`.
+        trace_path = (
+            Path(args.trace) / f"{args.attack}-{args.solver_backend}.trace.jsonl"
+        )
     try:
         locked = load_bench(args.locked)
         oracle = load_bench(args.oracle)
-        result = attack(locked, oracle, **kwargs)
+        if trace_path is not None:
+            from repro.trace import trace_to
+
+            with trace_to(trace_path, metadata={
+                "attack": args.attack,
+                "solver_backend": args.solver_backend,
+                "locked": str(args.locked),
+            }):
+                result = attack(locked, oracle, **kwargs)
+        else:
+            result = attack(locked, oracle, **kwargs)
     except Exception as exc:
         print(f"attack error: {type(exc).__name__}: {exc}", file=sys.stderr)
         if args.json:
@@ -146,8 +166,13 @@ def _cmd_attack(args: argparse.Namespace) -> int:
             }, args.json)
         return 2
     print(result.summary())
+    if trace_path is not None:
+        print(f"trace written to {trace_path}")
     if args.json:
-        _emit_json(result.to_dict(), args.json)
+        payload = result.to_dict()
+        if trace_path is not None:
+            payload["trace"] = str(trace_path)
+        _emit_json(payload, args.json)
     return 0 if not result.broke_defense else 1
 
 
@@ -303,6 +328,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             retry_failed=args.retry_failed,
             progress=None if quiet else progress_printer(),
             write_manifest=shard is None,
+            trace_dir=getattr(args, "trace", None),
         )
         status = campaign_status(spec, store)
         print(render_status(status))
@@ -345,6 +371,34 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     raise SystemExit(f"unknown campaign command {args.command_campaign!r}")
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Analyse event-trace files (see repro.trace / TRACE_FORMAT.md)."""
+    from repro.trace import (
+        diff_traces,
+        render_diff,
+        render_summary,
+        render_timeline,
+        summarize_trace,
+    )
+
+    if args.command_trace == "summary":
+        summary = summarize_trace(args.trace)
+        print(render_summary(summary))
+        if args.json:
+            _emit_json(summary, args.json)
+        return 0
+    if args.command_trace == "timeline":
+        print(render_timeline(args.trace, buckets=args.buckets))
+        return 0
+    if args.command_trace == "diff":
+        diff = diff_traces(args.a, args.b)
+        print(render_diff(diff))
+        if args.json:
+            _emit_json(diff, args.json)
+        return 0
+    raise SystemExit(f"unknown trace command {args.command_trace!r}")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -381,6 +435,10 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="PATH",
                         help="emit the full result as JSON (to PATH, or to "
                              "stdout when no path is given)")
+    attack.add_argument("--trace", default=None, metavar="DIR",
+                        help="record a structured event trace to "
+                             "DIR/<attack>-<backend>.trace.jsonl (analyse "
+                             "with 'repro trace', see TRACE_FORMAT.md)")
     attack.set_defaults(func=_cmd_attack)
 
     overhead = sub.add_parser("overhead", help="report 45nm-model cost of a netlist")
@@ -451,6 +509,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the aggregated Markdown report here afterwards")
         p.add_argument("--quiet", action="store_true",
                        help="suppress per-job progress lines")
+        p.add_argument("--trace", default=None, metavar="DIR",
+                       help="record a per-job event trace to "
+                            "DIR/<jobkey>.trace.jsonl (shard-safe: keys are "
+                            "disjoint across shards; the path lands on each "
+                            "result record under 'trace')")
         _shard_arg(p)
         _shard_strategy_args(p)
 
@@ -529,6 +592,41 @@ def build_parser() -> argparse.ArgumentParser:
                                  help="emit the paper's LaTeX tables instead "
                                       "of the Markdown report")
     campaign_report.set_defaults(func=_cmd_campaign)
+
+    trace = sub.add_parser(
+        "trace", help="analyse structured event traces",
+        description="Analyse .trace.jsonl files recorded with "
+                    "'repro attack --trace' or 'campaign run --trace' "
+                    "(format: TRACE_FORMAT.md).")
+    trace_sub = trace.add_subparsers(dest="command_trace", required=True)
+
+    trace_summary = trace_sub.add_parser(
+        "summary", help="per-phase time breakdown of one trace")
+    trace_summary.add_argument("trace", help=".trace.jsonl file")
+    trace_summary.add_argument("--json", nargs="?", const="-", default=None,
+                               metavar="PATH",
+                               help="also emit the summary as JSON")
+    trace_summary.set_defaults(func=_cmd_trace)
+
+    trace_timeline = trace_sub.add_parser(
+        "timeline", help="conflict-rate / learned-clause-rate buckets")
+    trace_timeline.add_argument("trace", help=".trace.jsonl file")
+    trace_timeline.add_argument("--buckets", type=int, default=20,
+                                help="number of time slices (default 20)")
+    trace_timeline.set_defaults(func=_cmd_trace)
+
+    trace_diff = trace_sub.add_parser(
+        "diff", help="A/B per-phase comparison of two traces of one job",
+        description="Compare two traces of the same job (e.g. cdcl vs "
+                    "cdcl-arena): per-phase seconds and conflicts, total "
+                    "counters, and the maximum relative drift (0% for "
+                    "identical traces).")
+    trace_diff.add_argument("a", help="baseline .trace.jsonl")
+    trace_diff.add_argument("b", help="comparison .trace.jsonl")
+    trace_diff.add_argument("--json", nargs="?", const="-", default=None,
+                            metavar="PATH",
+                            help="also emit the comparison as JSON")
+    trace_diff.set_defaults(func=_cmd_trace)
     return parser
 
 

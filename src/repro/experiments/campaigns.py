@@ -23,6 +23,7 @@ from typing import Dict, List, Mapping, Optional
 from repro.campaign.spec import CampaignSpec, JobSpec
 from repro.campaign.store import ResultStore
 from repro.campaign.progress import SolverTally
+from repro.trace.analysis import ascii_bar
 from repro.experiments.figure4 import aggregate_figure4, figure4_jobs
 from repro.experiments.report import ExperimentTable, render_latex_tables
 from repro.experiments.table1 import table1_jobs
@@ -167,6 +168,9 @@ def aggregate_campaign(
     tables["solver"] = solver_telemetry_table(
         spec, records, redact_runtimes=redact_runtimes
     )
+    tables["solver_flame"] = solver_flame_table(
+        spec, records, redact_runtimes=redact_runtimes
+    )
     return tables
 
 
@@ -203,6 +207,55 @@ def solver_telemetry_table(
                 total.add(record.get("solver"))
         table.add_row(**_solver_row(group or "-", tally, redact_runtimes))
     table.add_row(**_solver_row("total", total, redact_runtimes))
+    return table
+
+
+def solver_flame_table(
+    spec: CampaignSpec,
+    records: Mapping[str, "object"],
+    *,
+    redact_runtimes: bool = False,
+    width: int = 24,
+) -> ExperimentTable:
+    """Per-phase flame view: where each group's solver time actually went.
+
+    One row per (group, phase label) with the summed seconds, the phase's
+    share of the group's solver time, and a proportional ASCII bar — the
+    report-side companion of ``repro trace summary``.  Rows are ordered by
+    spec group order then phase name, so the table skeleton is deterministic;
+    under ``redact_runtimes`` the seconds/share/bar cells (all wall-clock
+    derived) are blanked, which keeps serial and sharded sweeps
+    byte-identical while still showing which phases ran.
+    """
+    table = ExperimentTable(
+        name="Solver flame view",
+        title="Per-phase solver time per campaign group",
+        columns=["Group", "Phase", "Seconds", "Share", "Flame"],
+    )
+    for group in spec.groups():
+        tally = SolverTally()
+        for job in spec.jobs_in_group(group):
+            record = records.get(job.key)
+            if isinstance(record, dict):
+                tally.add(record.get("solver"))
+        if not tally.phase_seconds:
+            continue
+        group_total = sum(tally.phase_seconds.values())
+        for phase in sorted(tally.phase_seconds):
+            seconds = tally.phase_seconds[phase]
+            share = seconds / group_total if group_total > 0 else 0.0
+            table.add_row(
+                Group=group or "-",
+                Phase=phase,
+                Seconds="-" if redact_runtimes else round(seconds, 2),
+                Share="-" if redact_runtimes else f"{share:.1%}",
+                Flame="-" if redact_runtimes else ascii_bar(share, width),
+            )
+    if not table.rows:
+        table.notes.append(
+            "no per-phase solver telemetry recorded yet (jobs still running, "
+            "or none touched a SolveSession)"
+        )
     return table
 
 

@@ -10,6 +10,9 @@ never silently lost.
 from __future__ import annotations
 
 import json
+import warnings
+from pathlib import Path
+from typing import Dict, List, Union
 
 
 def jsonable(value: object) -> object:
@@ -20,3 +23,59 @@ def jsonable(value: object) -> object:
     lists, mapping keys become strings).
     """
     return json.loads(json.dumps(value, default=str))
+
+
+def read_jsonl_objects(
+    path: Union[str, Path],
+    *,
+    label: str = "result record",
+    file_label: str = "store file",
+) -> List[Dict[str, object]]:
+    """Parse one append-only JSONL file into dict records, tolerating tears.
+
+    This is the single truncation/corruption policy shared by the campaign
+    result store and the trace reader:
+
+    * an undecodable **final** line is tolerated silently — that is the
+      half-written tail a killed run legitimately leaves behind;
+    * an undecodable line anywhere *else* is mid-file corruption: the line is
+      still skipped (the rest of the file is usable) but a warning naming the
+      file and line number is emitted, so records never vanish silently;
+    * a decodable line that is not a JSON object is dropped with a warning.
+    """
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        lines = handle.readlines()
+    last_content = max(
+        (i for i, line in enumerate(lines) if line.strip()), default=-1
+    )
+    records: List[Dict[str, object]] = []
+    for index, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if index == last_content:
+                # Half-written trailing line from a killed run; every
+                # complete record before it is still usable.
+                continue
+            warnings.warn(
+                f"{path}:{index + 1}: dropping undecodable {label} "
+                f"({exc}); the {file_label} is corrupt mid-file, not merely "
+                "truncated — earlier/later records are kept",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            continue
+        if isinstance(record, dict):
+            records.append(record)
+        else:
+            warnings.warn(
+                f"{path}:{index + 1}: dropping non-object {label} "
+                f"of type {type(record).__name__}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+    return records

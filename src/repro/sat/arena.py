@@ -60,6 +60,11 @@ class ArenaSolver:
         self._model: Dict[int, int] = {}
         self._unsat = False
         self.stats = SolverStats()
+        # Optional event-trace hooks (see repro.trace), mirrored from the
+        # reference solver: checked only on conflict/restart branches, never
+        # inside the inlined propagation loop.
+        self.trace = None
+        self.trace_stride = 1
 
     # ------------------------------------------------------------------ #
     # variable / clause management
@@ -430,6 +435,21 @@ class ArenaSolver:
                     self._backtrack(0)
                     return False
                 learned, back_level = self._analyze(conflict)
+                if self.trace is not None and (
+                    self.stats.conflicts % self.trace_stride == 0
+                ):
+                    # LBD must be read before backtracking clears the levels.
+                    levels = self._level
+                    self.trace.emit(
+                        "conflict",
+                        conflicts=self.stats.conflicts,
+                        decisions=self.stats.decisions,
+                        propagations=self.stats.propagations,
+                        learned=self.stats.learned_clauses,
+                        level=len(self._trail_lim),
+                        lbd=len({levels[abs(lit)] for lit in learned}),
+                        learned_len=len(learned),
+                    )
                 back_level = max(back_level, num_assumptions)
                 self._backtrack(back_level)
                 if len(learned) == 1:
@@ -450,6 +470,12 @@ class ArenaSolver:
                     return None
                 if conflicts_since_restart >= restart_budget:
                     self.stats.restarts += 1
+                    if self.trace is not None:
+                        self.trace.emit(
+                            "restart",
+                            restarts=self.stats.restarts,
+                            conflicts=self.stats.conflicts,
+                        )
                     restart_index += 1
                     restart_budget = 32 * _luby(restart_index)
                     conflicts_since_restart = 0

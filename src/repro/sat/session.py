@@ -24,6 +24,7 @@ CDCL hot loop.  :class:`SolveSession` is that place:
 
 from __future__ import annotations
 
+import itertools
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -32,6 +33,11 @@ from typing import Callable, Dict, Iterator, List, Mapping, Optional, Sequence, 
 from repro.sat.arena import ArenaSolver
 from repro.sat.solver import Solver
 from repro.sat.tseitin import TseitinEncoder
+from repro.trace.writer import active_tracer
+
+#: Process-wide session ids, so trace events from concurrent sessions in one
+#: attack (e.g. RANE's synthesis + verification sides) stay attributable.
+_SESSION_IDS = itertools.count(1)
 
 #: Counter fields shared by SolverStats and SolverTelemetry.
 _COUNTER_FIELDS = (
@@ -241,6 +247,30 @@ class SolveSession:
         elif self.telemetry.backend != backend:
             self.telemetry.backend = "mixed"
         self._synced = 0
+        # Event tracing (repro.trace): bind to the writer active at session
+        # construction.  With no writer active, every later check is a single
+        # ``is not None`` test.
+        self.tracer = active_tracer()
+        self._session_id = next(_SESSION_IDS)
+        self._calls = 0
+        if self.tracer is not None:
+            self.tracer.emit(
+                "session", backend=backend, session=self._session_id
+            )
+            self._attach_trace()
+
+    def _attach_trace(self) -> None:
+        """Point the backend solver's trace hooks at the session's writer."""
+        tracer = self.tracer
+        if tracer is None:
+            return
+        try:
+            self.solver.trace = tracer
+            self.solver.trace_stride = tracer.stride
+        except AttributeError:
+            # Third-party backends without trace hooks still solve fine;
+            # they just emit no conflict/restart events.
+            pass
 
     # ------------------------------------------------------------- budgets
     def set_deadline(self, deadline: Optional[float]) -> None:
@@ -269,6 +299,7 @@ class SolveSession:
         """
         self.solver = create_solver(self.backend)
         self._synced = 0
+        self._attach_trace()
 
     # -------------------------------------------------------------- queries
     def solve(
@@ -299,6 +330,16 @@ class SolveSession:
 
         stats = self.solver.stats
         before = {name: getattr(stats, name) for name in _COUNTER_FIELDS}
+        tracer = self.tracer
+        self._calls += 1
+        if tracer is not None:
+            tracer.emit(
+                "solve-begin",
+                session=self._session_id,
+                call=self._calls,
+                phase=phase,
+                assumptions=len(assumptions or ()),
+            )
         started = time.perf_counter()
         answer = self.solver.solve(
             assumptions=assumptions,
@@ -309,6 +350,24 @@ class SolveSession:
         deltas = {
             name: getattr(stats, name) - before[name] for name in _COUNTER_FIELDS
         }
+        if tracer is not None:
+            tracer.emit(
+                "solve-end",
+                session=self._session_id,
+                call=self._calls,
+                phase=phase,
+                answer=(
+                    "sat" if answer is True
+                    else "unsat" if answer is False
+                    else "limited"
+                ),
+                seconds=round(seconds, 6),
+                conflicts=deltas["conflicts"],
+                decisions=deltas["decisions"],
+                propagations=deltas["propagations"],
+                learned=deltas["learned_clauses"],
+                restarts=deltas["restarts"],
+            )
         self.telemetry.note_call(deltas, answer=answer, seconds=seconds, phase=phase)
         for frame in _CAPTURE_FRAMES:
             if not frame.backend:

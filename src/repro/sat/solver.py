@@ -80,6 +80,12 @@ class Solver:
         self._model: Dict[int, int] = {}
         self._unsat = False  # a top-level empty clause / contradiction exists
         self.stats = SolverStats()
+        # Optional event-trace hooks (see repro.trace): the attached writer
+        # and the conflict-sampling stride.  Checked only on the conflict and
+        # restart branches — never on the propagation inner loop — so the
+        # tracing-off cost is one attribute test per conflict.
+        self.trace = None
+        self.trace_stride = 1
 
     # ------------------------------------------------------------------ #
     # variable / clause management
@@ -393,6 +399,22 @@ class Solver:
                     self._backtrack(0)
                     return False
                 learned, back_level = self._analyze(conflict)
+                if self.trace is not None and (
+                    self.stats.conflicts % self.trace_stride == 0
+                ):
+                    # LBD (distinct decision levels in the learned clause) is
+                    # only meaningful before backtracking clears the levels.
+                    levels = self._level
+                    self.trace.emit(
+                        "conflict",
+                        conflicts=self.stats.conflicts,
+                        decisions=self.stats.decisions,
+                        propagations=self.stats.propagations,
+                        learned=self.stats.learned_clauses,
+                        level=self._decision_level(),
+                        lbd=len({levels[abs(lit)] for lit in learned}),
+                        learned_len=len(learned),
+                    )
                 back_level = max(back_level, num_assumptions)
                 self._backtrack(back_level)
                 if len(learned) == 1:
@@ -416,6 +438,12 @@ class Solver:
                     return None
                 if conflicts_since_restart >= restart_budget:
                     self.stats.restarts += 1
+                    if self.trace is not None:
+                        self.trace.emit(
+                            "restart",
+                            restarts=self.stats.restarts,
+                            conflicts=self.stats.conflicts,
+                        )
                     restart_index += 1
                     restart_budget = 32 * _luby(restart_index)
                     conflicts_since_restart = 0

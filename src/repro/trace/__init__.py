@@ -1,0 +1,48 @@
+"""Structured solver/attack event tracing (opt-in, low overhead).
+
+``repro.trace`` records *when* a solve went bad, not just how much it cost
+in aggregate: solve-call begin/end events with phase labels, stride-sampled
+conflict events carrying LBD and decision level, restart markers, and
+attack-round markers, all as compact JSONL (see ``TRACE_FORMAT.md``).
+
+Activation mirrors ``capture_solver_telemetry``: wrap any code path in
+:func:`trace_to` and every ``SolveSession`` created inside the ``with``
+block hooks its solver up to the active :class:`TraceWriter`.  With no
+active writer every hook is a cheap ``None`` check on cold paths (conflict
+and restart branches only — never the propagation inner loop).
+"""
+
+from repro.trace.writer import (
+    DEFAULT_STRIDE,
+    TRACE_SCHEMA_VERSION,
+    TraceWriter,
+    active_tracer,
+    trace_event,
+    trace_to,
+)
+from repro.trace.reader import load_trace, read_trace_events
+from repro.trace.analysis import (
+    diff_traces,
+    render_diff,
+    render_summary,
+    render_timeline,
+    summarize_trace,
+    timeline_buckets,
+)
+
+__all__ = [
+    "DEFAULT_STRIDE",
+    "TRACE_SCHEMA_VERSION",
+    "TraceWriter",
+    "active_tracer",
+    "trace_event",
+    "trace_to",
+    "load_trace",
+    "read_trace_events",
+    "diff_traces",
+    "render_diff",
+    "render_summary",
+    "render_timeline",
+    "summarize_trace",
+    "timeline_buckets",
+]

@@ -1,0 +1,50 @@
+"""Tolerant trace-file reader.
+
+Trace files share the append-only JSONL failure model of the campaign
+result store: a killed run leaves at most one half-written final line, which
+is tolerated silently, while mid-file corruption is skipped with a
+file:line warning.  Both behaviours come from the shared policy in
+:func:`repro.jsonutil.read_jsonl_objects`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.jsonutil import read_jsonl_objects
+from repro.trace.writer import TRACE_SCHEMA_VERSION
+
+Event = Dict[str, object]
+
+
+def read_trace_events(path: Union[str, Path]) -> List[Event]:
+    """All events of one trace file, in file order, tolerating tears."""
+    return read_jsonl_objects(
+        path, label="trace event", file_label="trace file"
+    )
+
+
+def load_trace(path: Union[str, Path]) -> Dict[str, object]:
+    """Events plus the parsed ``meta`` header of one trace file.
+
+    Returns ``{"path", "meta", "events"}`` where ``meta`` is the leading
+    ``meta`` event (schema version, sampling stride, free-form context) or
+    an empty dict when the header itself was torn off.  A trace written by
+    a newer schema than this reader understands raises, rather than being
+    silently misinterpreted.
+    """
+    path = Path(path)
+    events = read_trace_events(path)
+    meta: Event = {}
+    for event in events:
+        if event.get("kind") == "meta":
+            meta = event
+            break
+    schema = meta.get("schema")
+    if isinstance(schema, int) and schema > TRACE_SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: trace schema {schema} is newer than supported "
+            f"schema {TRACE_SCHEMA_VERSION}; upgrade repro to read it"
+        )
+    return {"path": str(path), "meta": meta, "events": events}

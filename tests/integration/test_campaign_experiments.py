@@ -250,8 +250,9 @@ class TestFullGridAggregation:
         run_campaign(spec, store, workers=0)
         tables = aggregate_campaign(spec, store)
         # The sleep filler group has no table aggregator; table3 does, and
-        # the aggregate solver-telemetry table always rides along.
-        assert set(tables) == {"table3", "solver"}
+        # the aggregate solver-telemetry and flame-view tables always ride
+        # along.
+        assert set(tables) == {"table3", "solver", "solver_flame"}
         assert tables["table3"].rows[0]["Circuit"] == "bcomp"
         solver = tables["solver"]
         assert {"Conflicts", "Decisions", "Propagations"} <= set(solver.columns)

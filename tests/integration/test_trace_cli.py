@@ -1,0 +1,186 @@
+"""Integration tests: the event-trace subsystem end to end through the CLI.
+
+Covers the full observability loop the trace subsystem exists for: a traced
+``repro attack`` run on both CDCL backends produces analysable traces
+(``repro trace summary|timeline|diff``), a traced campaign records one
+shard-safe trace file per job and points each result record at it, the
+campaign report grows the per-phase flame view, and tracing never perturbs
+the (redacted) report a campaign aggregates to.
+"""
+
+import json
+
+import pytest
+
+from repro.campaign import CampaignSpec, JobSpec, ResultStore, run_campaign
+from repro.cli import main as cli_main
+from repro.experiments.campaigns import aggregate_campaign
+from repro.experiments.table3 import table3_jobs
+from repro.fsm.random_fsm import random_fsm
+from repro.fsm.synthesis import synthesize_fsm
+from repro.locking.cutelock_str import CuteLockStr
+from repro.netlist.bench import save_bench
+from repro.trace import read_trace_events, summarize_trace
+
+
+@pytest.fixture(scope="module")
+def bench_pair(tmp_path_factory):
+    """Original + locked bench files for the CLI attack runs."""
+    root = tmp_path_factory.mktemp("bench")
+    fsm = random_fsm(8, 2, 2, seed=5)
+    circuit = synthesize_fsm(fsm, style="sop")
+    locked = CuteLockStr(num_keys=4, key_width=2, num_locked_ffs=2, seed=3).lock(circuit)
+    original_path = root / "design.bench"
+    locked_path = root / "design_locked.bench"
+    save_bench(circuit, original_path)
+    save_bench(locked.circuit, locked_path)
+    return original_path, locked_path
+
+
+def _traced_attack(bench_pair, trace_dir, backend, json_path):
+    original_path, locked_path = bench_pair
+    exit_code = cli_main([
+        "attack", str(locked_path), str(original_path),
+        "--attack", "sat", "--time-limit", "30",
+        "--solver-backend", backend,
+        "--trace", str(trace_dir),
+        "--json", str(json_path),
+    ])
+    assert exit_code in (0, 1)  # attack ran; either side may win
+    return trace_dir / f"sat-{backend}.trace.jsonl"
+
+
+class TestTracedAttackCli:
+    def test_attack_trace_analysis_cycle(self, bench_pair, tmp_path, capsys):
+        trace_dir = tmp_path / "traces"
+        paths = {}
+        for backend in ("cdcl", "cdcl-arena"):
+            json_path = tmp_path / f"{backend}.json"
+            paths[backend] = _traced_attack(
+                bench_pair, trace_dir, backend, json_path
+            )
+            out = capsys.readouterr().out
+            assert f"trace written to {paths[backend]}" in out
+            # The --json payload points at the trace file.
+            payload = json.loads(json_path.read_text())
+            assert payload["trace"] == str(paths[backend])
+            # The trace itself is real: header, session binding, solve
+            # markers and at least one attack round marker.
+            events = read_trace_events(paths[backend])
+            kinds = {event["kind"] for event in events}
+            assert {"meta", "session", "solve-begin", "solve-end",
+                    "attack-round"} <= kinds
+            meta = events[0]
+            assert meta["attack"] == "sat"
+            assert meta["solver_backend"] == backend
+            summary = summarize_trace(paths[backend])
+            assert summary["backends"] == [backend]
+            assert summary["attack_rounds"] >= 1
+            assert summary["calls"] >= 1
+
+        # summary renders and exits 0 on both traces.
+        for backend, path in paths.items():
+            assert cli_main(["trace", "summary", str(path)]) == 0
+            out = capsys.readouterr().out
+            assert f"backend={backend}" in out
+            assert "phase" in out
+
+    def test_trace_summary_json(self, bench_pair, tmp_path, capsys):
+        trace_dir = tmp_path / "traces"
+        path = _traced_attack(bench_pair, trace_dir, "cdcl",
+                              tmp_path / "a.json")
+        capsys.readouterr()
+        summary_json = tmp_path / "summary.json"
+        assert cli_main(["trace", "summary", str(path),
+                         "--json", str(summary_json)]) == 0
+        capsys.readouterr()
+        payload = json.loads(summary_json.read_text())
+        assert payload["path"] == str(path)
+        assert payload["phases"]
+
+    def test_trace_timeline(self, bench_pair, tmp_path, capsys):
+        trace_dir = tmp_path / "traces"
+        path = _traced_attack(bench_pair, trace_dir, "cdcl",
+                              tmp_path / "a.json")
+        capsys.readouterr()
+        assert cli_main(["trace", "timeline", str(path),
+                         "--buckets", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "confl/s" in out
+        assert out.count("\n") >= 8
+
+    def test_trace_diff_backends_and_self(self, bench_pair, tmp_path, capsys):
+        trace_dir = tmp_path / "traces"
+        a = _traced_attack(bench_pair, trace_dir, "cdcl", tmp_path / "a.json")
+        b = _traced_attack(bench_pair, trace_dir, "cdcl-arena",
+                           tmp_path / "b.json")
+        capsys.readouterr()
+        # Backend A/B diff: both files named, drift table rendered.
+        assert cli_main(["trace", "diff", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "[cdcl]" in out and "[cdcl-arena]" in out
+        assert "max drift:" in out
+        # A trace diffed against itself reports exactly zero drift.
+        diff_json = tmp_path / "diff.json"
+        assert cli_main(["trace", "diff", str(a), str(a),
+                         "--json", str(diff_json)]) == 0
+        capsys.readouterr()
+        payload = json.loads(diff_json.read_text())
+        assert payload["max_drift"] == 0.0
+
+
+class TestTracedCampaign:
+    #: One cheap real cell plus a solver-free filler: exercises both the
+    #: traced-solver path and the "trace exists but is quiet" path.
+    def _spec(self):
+        jobs = [JobSpec(kind="sleep", group="sleep", params={"marker": "t"})]
+        jobs += table3_jobs(benchmarks=["bcomp"], attacks=["INT"],
+                            time_limit=60.0)
+        return CampaignSpec(name="traced", jobs=jobs)
+
+    def test_campaign_trace_files_and_flame_report(self, tmp_path, capsys):
+        store_root = tmp_path / "store"
+        trace_dir = tmp_path / "traces"
+        spec = self._spec()
+        ResultStore(store_root).write_manifest(spec)
+        assert cli_main(["campaign", "resume", "--store", str(store_root),
+                         "--trace", str(trace_dir), "--quiet"]) == 0
+        capsys.readouterr()
+
+        records = ResultStore(store_root).load_index()
+        assert set(records) == {job.key for job in spec.jobs}
+        for job in spec.jobs:
+            record = records[job.key]
+            assert record["status"] == "completed"
+            # Every record names its shard-safe per-key trace file...
+            trace_path = trace_dir / f"{job.key}.trace.jsonl"
+            assert record["trace"] == str(trace_path)
+            # ...and every trace parses, starting with the meta header.
+            events = read_trace_events(trace_path)
+            assert events[0]["kind"] == "meta"
+            assert events[0]["job_kind"] == job.kind
+            if job.kind != "sleep":
+                kinds = {event["kind"] for event in events}
+                assert {"session", "solve-begin", "solve-end"} <= kinds
+
+        report = tmp_path / "report.md"
+        assert cli_main(["campaign", "report", "--store", str(store_root),
+                         "--output", str(report)]) == 0
+        capsys.readouterr()
+        text = report.read_text()
+        assert "Solver flame view" in text
+        assert "#" in text  # at least one proportional bar rendered
+
+    def test_tracing_does_not_perturb_redacted_report(self, tmp_path):
+        spec = self._spec()
+        traced_store = ResultStore(tmp_path / "traced")
+        run_campaign(spec, traced_store, workers=0,
+                     trace_dir=tmp_path / "traces")
+        plain_store = ResultStore(tmp_path / "plain")
+        run_campaign(spec, plain_store, workers=0)
+
+        def render(store):
+            tables = aggregate_campaign(spec, store, redact_runtimes=True)
+            return "\n\n".join(table.to_text() for table in tables.values())
+
+        assert render(traced_store) == render(plain_store)
