@@ -7,6 +7,7 @@ minutes on a laptop; pass ``--benchmark-full-eval`` to sweep the complete
 benchmark lists from the paper (slow).
 """
 
+import os
 import sys
 from pathlib import Path
 
@@ -15,6 +16,13 @@ import pytest
 _SRC = Path(__file__).resolve().parent.parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
+
+# The acceptance bars measure the shipping configuration: the repro.check
+# runtime sanitizers (kernel verifier, solver-state audit) stay OFF here,
+# and their disarmed cost must be a single attribute test per decision /
+# tile — bench bars are the guard for that.
+os.environ.setdefault("REPRO_CHECK_KERNELS", "0")
+os.environ.setdefault("REPRO_CHECK_SOLVER", "0")
 
 
 def pytest_addoption(parser):

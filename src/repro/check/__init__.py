@@ -1,0 +1,62 @@
+"""Static analysis and state sanitizers for the repo's unchecked invariants.
+
+Three analyzers, one per invariant the test suite cannot enforce globally
+(documented in ``CHECKS.md``, driven by ``python -m repro check``):
+
+* :mod:`repro.check.lint` — an AST linter over ``src/`` with repo-specific
+  rules: no wall-clock / unseeded-random calls in byte-identity-critical
+  modules, no raw ``json.loads``-per-line loops outside
+  :mod:`repro.jsonutil`, no tracing or allocation-heavy calls inside loops
+  marked ``# hot-loop``, and ``to_dict``/``from_dict`` round-trip
+  completeness.
+* :mod:`repro.check.program` — a verifier proving every exec-generated
+  engine kernel is a straight-line, levelized, bitwise-only program before
+  it is executed (always-on in the tests; opt-in at runtime via
+  ``REPRO_CHECK_KERNELS=1``).
+* :mod:`repro.check.solver` — CNF well-formedness checks plus CDCL state
+  sanitizers (watch lists, trail/level consistency, implication-graph
+  acyclicity) for both session backends, run at decision points under
+  ``REPRO_CHECK_SOLVER=1``.
+"""
+
+from repro.check.lint import (
+    ALLOWLIST,
+    Finding,
+    RULES,
+    lint_paths,
+    lint_source,
+    render_findings,
+)
+from repro.check.program import (
+    KernelVerificationError,
+    verify_compiled,
+    verify_kernel_source,
+    verify_packed_words,
+)
+from repro.check.solver import (
+    SolverStateError,
+    Violation,
+    assert_cnf_ok,
+    assert_solver_invariants,
+    check_cnf,
+    check_solver_invariants,
+)
+
+__all__ = [
+    "ALLOWLIST",
+    "Finding",
+    "RULES",
+    "lint_paths",
+    "lint_source",
+    "render_findings",
+    "KernelVerificationError",
+    "verify_compiled",
+    "verify_kernel_source",
+    "verify_packed_words",
+    "SolverStateError",
+    "Violation",
+    "assert_cnf_ok",
+    "assert_solver_invariants",
+    "check_cnf",
+    "check_solver_invariants",
+]

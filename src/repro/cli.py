@@ -20,6 +20,10 @@ Python:
 * ``trace``     — analyse structured event traces recorded with ``attack
   --trace`` / ``campaign run --trace`` (``trace summary|timeline|diff``,
   see :mod:`repro.trace` and ``TRACE_FORMAT.md``).
+* ``check``     — static checks over the repo's unchecked invariants
+  (``check lint|program|cnf``, see :mod:`repro.check` and ``CHECKS.md``):
+  the repo-specific AST linter, the generated-kernel verifier and the CNF
+  well-formedness checker.  Exit 0 clean, 1 findings, 2 error.
 """
 
 from __future__ import annotations
@@ -146,6 +150,14 @@ def _cmd_attack(args: argparse.Namespace) -> int:
     try:
         locked = load_bench(args.locked)
         oracle = load_bench(args.oracle)
+        if not args.no_validate:
+            # Strict structural validation at the ingestion boundary: a
+            # malformed locked/oracle netlist (transform bug, truncated
+            # file) fails fast here as exit 2 instead of mid-attack.
+            from repro.netlist.validate import validate_circuit
+
+            validate_circuit(locked, strict=True)
+            validate_circuit(oracle, strict=True)
         if trace_path is not None:
             from repro.trace import trace_to
 
@@ -399,6 +411,89 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     raise SystemExit(f"unknown trace command {args.command_trace!r}")
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    """Static checks (see repro.check / CHECKS.md).
+
+    Exit codes: 0 = clean, 1 = findings/violations, 2 = analysis error.
+    """
+    if args.command_check == "lint":
+        from repro.check.lint import lint_paths, render_findings
+
+        paths = args.paths or ["src"]
+        missing = [path for path in paths if not Path(path).exists()]
+        if missing:
+            print(f"check lint: no such path: {', '.join(missing)}",
+                  file=sys.stderr)
+            return 2
+        findings = lint_paths(paths)
+        if args.json:
+            _emit_json({
+                "findings": [finding.to_dict() for finding in findings],
+                "count": len(findings),
+            }, args.json)
+        else:
+            print(render_findings(findings))
+        return 1 if findings else 0
+
+    if args.command_check == "program":
+        from repro.check.program import KernelVerificationError, verify_compiled
+        from repro.engine.compiler import compile_circuit
+        from repro.netlist.circuit import CircuitError
+
+        try:
+            circuit = load_bench(args.netlist)
+            # codegen=False: verify the kernel source without executing it.
+            compiled = compile_circuit(circuit, codegen=False)
+            assigned = verify_compiled(compiled)
+        except KernelVerificationError as exc:
+            print(f"check program: {exc}", file=sys.stderr)
+            return 1
+        except (OSError, CircuitError) as exc:
+            print(f"check program: {type(exc).__name__}: {exc}", file=sys.stderr)
+            return 2
+        print(f"check program: {circuit.name}: verified "
+              f"{len(assigned)} kernel ops over {compiled.num_slots} slots "
+              f"({compiled.num_levels} levels)")
+        return 0
+
+    if args.command_check == "cnf":
+        from repro.check.solver import check_cnf
+
+        # Lenient DIMACS parse: unlike CNF.from_dimacs (whose add_clause
+        # rejects zero literals outright), this keeps malformed clauses so
+        # the checker can name each violation.
+        try:
+            text = Path(args.cnf).read_text()
+        except OSError as exc:
+            print(f"check cnf: {exc}", file=sys.stderr)
+            return 2
+        clauses = []
+        num_vars = None
+        for raw in text.splitlines():
+            line = raw.strip()
+            if not line or line.startswith(("c", "%")):
+                continue
+            if line.startswith("p"):
+                parts = line.split()
+                if len(parts) >= 3:
+                    num_vars = int(parts[2])
+                continue
+            literals = [int(token) for token in line.split()]
+            if literals and literals[-1] == 0:
+                literals = literals[:-1]
+            clauses.append(tuple(literals))
+        violations = check_cnf(clauses, num_vars=num_vars)
+        if violations:
+            for violation in violations:
+                print(violation.render())
+            print(f"{len(violations)} violation(s) in {args.cnf}")
+            return 1
+        print(f"check cnf: {args.cnf}: {len(clauses)} clauses ok")
+        return 0
+
+    raise SystemExit(f"unknown check command {args.command_check!r}")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -439,6 +534,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="record a structured event trace to "
                              "DIR/<attack>-<backend>.trace.jsonl (analyse "
                              "with 'repro trace', see TRACE_FORMAT.md)")
+    attack.add_argument("--no-validate", action="store_true",
+                        help="skip the strict structural validation of the "
+                             "locked and oracle netlists (escape hatch for "
+                             "deliberately malformed inputs)")
     attack.set_defaults(func=_cmd_attack)
 
     overhead = sub.add_parser("overhead", help="report 45nm-model cost of a netlist")
@@ -627,6 +726,44 @@ def build_parser() -> argparse.ArgumentParser:
                             metavar="PATH",
                             help="also emit the comparison as JSON")
     trace_diff.set_defaults(func=_cmd_trace)
+
+    check = sub.add_parser(
+        "check", help="static checks: repo lint, kernel verifier, CNF audit",
+        description="Static analysis over the repo's unchecked invariants "
+                    "(rule catalogue: CHECKS.md).  Exit 0 = clean, "
+                    "1 = findings, 2 = analysis error.")
+    check_sub = check.add_subparsers(dest="command_check", required=True)
+
+    check_lint = check_sub.add_parser(
+        "lint", help="run the repo-specific AST linter",
+        description="AST lint with repo-specific rules (R001-R005: "
+                    "wall-clock/unseeded-random in byte-identity-critical "
+                    "modules, raw JSONL loops, # hot-loop call discipline, "
+                    "to_dict/from_dict completeness).  Suppress per line "
+                    "with '# repro-lint: disable=RULE'.")
+    check_lint.add_argument("paths", nargs="*",
+                            help="files or directories (default: src)")
+    check_lint.add_argument("--json", nargs="?", const="-", default=None,
+                            metavar="PATH",
+                            help="emit findings as JSON (file, line, rule, "
+                                 "message) to PATH or stdout")
+    check_lint.set_defaults(func=_cmd_check)
+
+    check_program = check_sub.add_parser(
+        "program", help="verify the generated engine kernels of a netlist",
+        description="Compiles the circuit and proves the generated kernel "
+                    "source is straight-line, levelized, bitwise-only code "
+                    "without executing it (the same verifier the engine runs "
+                    "before exec under REPRO_CHECK_KERNELS=1).")
+    check_program.add_argument("netlist", help=".bench netlist")
+    check_program.set_defaults(func=_cmd_check)
+
+    check_cnf_p = check_sub.add_parser(
+        "cnf", help="audit a DIMACS CNF file for well-formedness",
+        description="Reports zero literals, out-of-range variables, "
+                    "duplicate literals, tautologies and empty clauses.")
+    check_cnf_p.add_argument("cnf", help="DIMACS .cnf file")
+    check_cnf_p.set_defaults(func=_cmd_check)
     return parser
 
 

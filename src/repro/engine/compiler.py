@@ -17,8 +17,9 @@ the unit tests diff against the generated code.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.netlist.circuit import Circuit, CircuitError
 from repro.netlist.gates import GateType
@@ -67,18 +68,30 @@ def _op_expression(op: PackedOp) -> str:
     raise CircuitError(f"unsupported gate type {gtype!r}")  # pragma: no cover
 
 
-def _build_kernels(ops: Sequence[PackedOp]) -> List[Callable[[List[int], int], None]]:
-    """exec-compile the op list into straight-line kernel functions."""
-    kernels: List[Callable[[List[int], int], None]] = []
-    for start in range(0, len(ops), _KERNEL_CHUNK):
+def kernel_sources(ops: Sequence[PackedOp]) -> Iterator[Tuple[int, str]]:
+    """Yield ``(start_index, source)`` per generated kernel chunk.
+
+    The single source of the synthesized kernel text: both the exec path
+    (:func:`_build_kernels`) and the pre-exec structural verifier
+    (:func:`repro.check.program.verify_compiled`) consume this, so what is
+    verified is byte-for-byte what runs.
+    """
+    for start in range(0, max(len(ops), 1), _KERNEL_CHUNK):
         lines = ["def _kernel(v, mask):"]
         chunk = ops[start:start + _KERNEL_CHUNK]
         for op in chunk:
             lines.append(f"    v[{op.out_slot}] = {_op_expression(op)}")
         if not chunk:
             lines.append("    pass")
+        yield start, "\n".join(lines)
+
+
+def _build_kernels(ops: Sequence[PackedOp]) -> List[Callable[[List[int], int], None]]:
+    """exec-compile the op list into straight-line kernel functions."""
+    kernels: List[Callable[[List[int], int], None]] = []
+    for start, source in kernel_sources(ops):
         namespace: Dict[str, object] = {}
-        exec(compile("\n".join(lines), f"<repro.engine kernel@{start}>", "exec"), namespace)
+        exec(compile(source, f"<repro.engine kernel@{start}>", "exec"), namespace)
         kernels.append(namespace["_kernel"])  # type: ignore[arg-type]
     return kernels
 
@@ -182,12 +195,25 @@ class CompiledCircuit:
             _interpret_op(op, values, mask)
 
 
-def compile_circuit(circuit: Circuit, *, codegen: bool = True) -> CompiledCircuit:
+def compile_circuit(
+    circuit: Circuit,
+    *,
+    codegen: bool = True,
+    verify: Optional[bool] = None,
+) -> CompiledCircuit:
     """Compile ``circuit`` into a :class:`CompiledCircuit`.
 
     Raises :class:`CircuitError` for combinational cycles (via
     :meth:`Circuit.topological_order`) and for gate fanins with no driver
     (where the scalar simulator would fail at evaluation time instead).
+
+    ``verify=True`` runs :func:`repro.check.program.verify_compiled` over
+    the generated kernel source *before* it is ``exec``-ed, raising
+    :class:`repro.check.program.KernelVerificationError` (a
+    :class:`CircuitError`) if the program is not straight-line, levelized,
+    bitwise-only code.  The default ``None`` defers to the
+    ``REPRO_CHECK_KERNELS=1`` environment flag (always set by the test
+    suite, opt-in at runtime).
     """
     slot_of: Dict[str, int] = {}
     net_names: List[str] = []
@@ -255,5 +281,11 @@ def compile_circuit(circuit: Circuit, *, codegen: bool = True) -> CompiledCircui
         level_of=level_of,
     )
     if codegen:
+        if verify is None:
+            verify = os.environ.get("REPRO_CHECK_KERNELS", "") == "1"
+        if verify:
+            from repro.check.program import verify_compiled
+
+            verify_compiled(compiled)
         compiled._kernels = _build_kernels(ops)
     return compiled

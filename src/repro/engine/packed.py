@@ -24,6 +24,7 @@ word-level and batch APIs accept any width / batch size.
 
 from __future__ import annotations
 
+import os
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.engine.compiler import CompiledCircuit, compile_circuit
@@ -120,6 +121,10 @@ class PackedSimulator:
         self.circuit = circuit
         self.compiled = compiled if compiled is not None else compile_circuit(circuit)
         self.tile_width = tile_width
+        # Debug sanitizer (see repro.check.program): after every packed pass,
+        # assert no word leaked bits past the batch mask.  One attribute test
+        # per tile when off.
+        self.check_words = os.environ.get("REPRO_CHECK_KERNELS", "") == "1"
 
     def refresh(self) -> None:
         """Recompile after the circuit was mutated."""
@@ -157,6 +162,13 @@ class PackedSimulator:
             else:
                 values[slot] = (word >> offset) & mask
         compiled.run(values, mask)
+        if self.check_words:
+            from repro.check.program import verify_packed_words
+
+            verify_packed_words(
+                values, mask,
+                label=f"<packed pass width={width} offset={offset}>",
+            )
         return values
 
     def _eval_slots(
@@ -169,7 +181,7 @@ class PackedSimulator:
         if tile is None or width <= tile:
             return self._eval_slots_tile(input_words, state_words, width, 0)
         values = [0] * self.compiled.num_slots
-        for offset in range(0, width, tile):
+        for offset in range(0, width, tile):  # hot-loop
             tile_values = self._eval_slots_tile(
                 input_words, state_words, min(tile, width - offset), offset
             )

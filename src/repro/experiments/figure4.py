@@ -31,6 +31,7 @@ from repro.campaign.store import STATUS_COMPLETED, Record, ResultStore
 from repro.experiments.report import ExperimentTable
 from repro.locking.baselines.dklock import lock_dklock
 from repro.locking.cutelock_str import CuteLockStr
+from repro.netlist.validate import validate_circuit
 from repro.synthesis.overhead import CircuitCost, analyze_circuit, compare_overhead
 
 #: Benchmarks exercised in quick mode.
@@ -115,12 +116,14 @@ def run_figure4_cell(params: Mapping[str, object]) -> Dict[str, object]:
             num_locked_ffs=min(2, len(circuit.dffs)),
             seed=seed,
         ).lock(circuit)
+        validate_circuit(locked.circuit, strict=True)
         cost = compare_overhead(
             locked, activity_vectors=activity_vectors, seed=seed
         ).locked
     elif label in ("DK-Lock 10b", "DK-Lock nb"):
         width = 10 if label == "DK-Lock 10b" else max(1, min(num_inputs, MAX_KEY_WIDTH))
         locked = lock_dklock(circuit, key_width=width, seed=seed)
+        validate_circuit(locked.circuit, strict=True)
         cost = compare_overhead(
             locked, activity_vectors=activity_vectors, seed=seed
         ).locked

@@ -34,6 +34,7 @@ from repro.campaign.spec import CampaignSpec, JobSpec
 from repro.campaign.store import STATUS_COMPLETED, Record, ResultStore
 from repro.experiments.report import ExperimentTable
 from repro.locking.cutelock_beh import CuteLockBeh
+from repro.netlist.validate import validate_circuit
 
 #: Benchmarks exercised in quick mode: one per size group.
 QUICK_BENCHMARKS = ("bcomp", "acdl", "exxm")
@@ -98,6 +99,9 @@ def run_table3_cell(params: Mapping[str, object]) -> Dict[str, object]:
         seed=int(params.get("seed", 3)),  # type: ignore[arg-type]
     ).lock(fsm)
     locked = locked_fsm.synthesize(style=str(params.get("synthesis_style", "auto")))
+    # Strict ingestion-boundary validation: a synthesis/transform bug fails
+    # the cell here (recorded as an error row) instead of mid-attack.
+    validate_circuit(locked.circuit, strict=True)
 
     attack_name = str(params["attack"])
     result = ATTACKS[attack_name](

@@ -27,6 +27,7 @@ from repro.campaign.store import STATUS_COMPLETED, Record, ResultStore
 from repro.experiments.report import ExperimentTable
 from repro.experiments.table3 import placeholder_attack_result
 from repro.locking.cutelock_str import CuteLockStr
+from repro.netlist.validate import validate_circuit
 
 #: Benchmarks exercised in quick mode.
 QUICK_BENCHMARKS = ("s27", "s298", "b01", "b03")
@@ -113,6 +114,9 @@ def run_table4_cell(params: Mapping[str, object]) -> Dict[str, object]:
         ),
         seed=int(params.get("seed", 4)),  # type: ignore[arg-type]
     ).lock(generated.circuit)
+    # Strict ingestion-boundary validation: a locking-transform bug fails
+    # the cell here (recorded as an error row) instead of mid-attack.
+    validate_circuit(locked.circuit, strict=True)
 
     attack_name = str(params["attack"])
     attack = _attack_table()[attack_name]

@@ -30,6 +30,7 @@ from repro.campaign.spec import CampaignSpec, JobSpec
 from repro.campaign.store import STATUS_COMPLETED, Record, ResultStore
 from repro.experiments.report import ExperimentTable
 from repro.locking.cutelock_str import CuteLockStr
+from repro.netlist.validate import validate_circuit
 
 #: Benchmarks exercised in quick mode.
 QUICK_BENCHMARKS = ("b01", "b03", "b08", "b12")
@@ -93,6 +94,9 @@ def _lock_benchmark(params: Mapping[str, object]):
         donors_per_ff=2,
         seed=int(params.get("seed", 5)),  # type: ignore[arg-type]
     ).lock(generated.circuit)
+    # Strict ingestion-boundary validation: a generator or locking bug
+    # fails the cell here (recorded as an error row) instead of mid-attack.
+    validate_circuit(locked.circuit, strict=True)
     return generated, locked
 
 

@@ -27,6 +27,7 @@ answers may differ — heuristic state is not shared).
 from __future__ import annotations
 
 import heapq
+import os
 import time
 from typing import Dict, Iterable, List, Optional, Sequence
 
@@ -65,6 +66,10 @@ class ArenaSolver:
         # inside the inlined propagation loop.
         self.trace = None
         self.trace_stride = 1
+        # Debug sanitizer (see repro.check.solver), mirrored from the
+        # reference solver: audited at decision points only, one attribute
+        # test per decision when off.
+        self.check_invariants = os.environ.get("REPRO_CHECK_SOLVER", "") == "1"
 
     # ------------------------------------------------------------------ #
     # variable / clause management
@@ -208,7 +213,7 @@ class ArenaSolver:
         propagations = 0
         qhead = self._qhead
         conflict = -1
-        while qhead < len(trail):
+        while qhead < len(trail):  # hot-loop
             lit = trail[qhead]
             qhead += 1
             propagations += 1
@@ -482,7 +487,12 @@ class ArenaSolver:
                     self._backtrack(min(num_assumptions, len(self._trail_lim)))
                 continue
 
-            # No conflict: place assumptions first, then decide.
+            # No conflict: propagation quiesced — audit the solver state
+            # before committing to the next decision (debug flag only).
+            if self.check_invariants:
+                self._run_invariant_checks()
+
+            # Place assumptions first, then decide.
             if len(self._trail_lim) < num_assumptions:
                 lit = assumptions[len(self._trail_lim)]
                 value = self._value(lit)
@@ -526,3 +536,9 @@ class ArenaSolver:
         """Value (0/1) of a literal under the last model."""
         value = self._model.get(abs(lit), 0)
         return value if lit > 0 else 1 - value
+
+    def _run_invariant_checks(self) -> None:
+        """Debug-flag hook: raise SolverStateError on any broken invariant."""
+        from repro.check.solver import assert_solver_invariants
+
+        assert_solver_invariants(self)

@@ -21,6 +21,7 @@ The public surface is small:
 from __future__ import annotations
 
 import heapq
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
@@ -86,6 +87,10 @@ class Solver:
         # tracing-off cost is one attribute test per conflict.
         self.trace = None
         self.trace_stride = 1
+        # Debug sanitizer (see repro.check.solver): audit watch lists, trail
+        # and implication graph at every decision point.  Same cost model as
+        # tracing: one attribute test per decision when off.
+        self.check_invariants = os.environ.get("REPRO_CHECK_SOLVER", "") == "1"
 
     # ------------------------------------------------------------------ #
     # variable / clause management
@@ -201,7 +206,7 @@ class Solver:
     # ------------------------------------------------------------------ #
     def _propagate(self) -> Optional[int]:
         """Unit propagation.  Returns a conflicting clause index or None."""
-        while self._qhead < len(self._trail):
+        while self._qhead < len(self._trail):  # hot-loop
             lit = self._trail[self._qhead]
             self._qhead += 1
             self.stats.propagations += 1
@@ -450,7 +455,12 @@ class Solver:
                     self._backtrack(min(num_assumptions, self._decision_level()))
                 continue
 
-            # No conflict: place assumptions first, then decide.
+            # No conflict: propagation quiesced — audit the solver state
+            # before committing to the next decision (debug flag only).
+            if self.check_invariants:
+                self._run_invariant_checks()
+
+            # Place assumptions first, then decide.
             if self._decision_level() < num_assumptions:
                 lit = assumptions[self._decision_level()]
                 value = self._value(lit)
@@ -494,6 +504,12 @@ class Solver:
         """Value (0/1) of a literal under the last model."""
         value = self._model.get(abs(lit), 0)
         return value if lit > 0 else 1 - value
+
+    def _run_invariant_checks(self) -> None:
+        """Debug-flag hook: raise SolverStateError on any broken invariant."""
+        from repro.check.solver import assert_solver_invariants
+
+        assert_solver_invariants(self)
 
 
 def solve_cnf(clauses: Iterable[Iterable[int]], assumptions: Optional[Sequence[int]] = None,

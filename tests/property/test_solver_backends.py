@@ -144,6 +144,32 @@ def test_backends_agree_on_locked_circuit_miters(seed):
     assert len(set(answers.values())) == 1
 
 
+@FAST
+@given(cnf_instances(), st.integers(min_value=0, max_value=2 ** 31))
+def test_backends_stay_invariant_clean_with_sanitizer_on(instance, seed):
+    """Run both backends with the repro.check state sanitizer armed.
+
+    Every decision point audits watch lists, trail/level consistency and
+    the implication graph (see repro.check.solver); any violation raises
+    SolverStateError and fails the property.  Answers must still agree
+    with brute force, proving the sanitizer is sound on real traces and
+    free of false positives.
+    """
+    num_vars, clauses = instance
+    expected = brute_force(clauses, num_vars)
+    rng = random.Random(seed)
+    assumptions = [
+        rng.choice([1, -1]) * rng.randint(1, num_vars)
+        for _ in range(rng.randint(0, 2))
+    ]
+    for backend in BACKENDS:
+        solver = create_solver(backend)
+        solver.check_invariants = True  # REPRO_CHECK_SOLVER=1 equivalent
+        solver.add_clauses(clauses)
+        assert solver.solve() == expected
+        solver.solve(assumptions=assumptions)  # incremental re-solve, still audited
+
+
 def test_backends_agree_exhaustively_on_tiny_formulas():
     """Exhaustive sweep over every 3-variable 2-clause pair of width-2 clauses."""
     literals = [1, -1, 2, -2, 3, -3]

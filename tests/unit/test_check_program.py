@@ -1,0 +1,252 @@
+"""Unit tests for the generated-kernel verifier (repro.check.program)."""
+
+import pytest
+
+from repro.check.program import (
+    KernelVerificationError,
+    verify_compiled,
+    verify_kernel_source,
+    verify_packed_words,
+)
+from repro.engine.compiler import compile_circuit, kernel_sources
+from repro.engine.packed import PackedSimulator
+from repro.fsm.random_fsm import random_fsm
+from repro.fsm.synthesis import synthesize_fsm
+from repro.netlist.circuit import Circuit, CircuitError
+from repro.netlist.gates import GateType
+
+
+def small_circuit() -> Circuit:
+    circuit = Circuit(name="check_program")
+    for net in ("a", "b", "c"):
+        circuit.add_input(net)
+    circuit.add_gate("n1", GateType.AND, ["a", "b"])
+    circuit.add_gate("n2", GateType.XOR, ["n1", "c"])
+    circuit.add_gate("y", GateType.NOR, ["n1", "n2"])
+    circuit.add_output("y")
+    return circuit
+
+
+# --------------------------------------------------------------------- #
+# clean fixtures verify silently
+# --------------------------------------------------------------------- #
+def test_real_compiled_circuit_verifies():
+    compiled = compile_circuit(small_circuit(), codegen=False)
+    assigned = verify_compiled(compiled)
+    assert sorted(assigned) == sorted(op.out_slot for op in compiled.ops)
+
+
+def test_synthesized_fsm_verifies():
+    circuit = synthesize_fsm(random_fsm(8, 2, 2, seed=5), style="sop")
+    compiled = compile_circuit(circuit, codegen=False)
+    assert verify_compiled(compiled)
+
+
+def test_every_gate_type_verifies():
+    circuit = Circuit(name="all_gates")
+    for net in ("a", "b", "s"):
+        circuit.add_input(net)
+    gates = [
+        ("g_buf", GateType.BUF, ("a",)),
+        ("g_not", GateType.NOT, ("a",)),
+        ("g_and", GateType.AND, ("a", "b")),
+        ("g_nand", GateType.NAND, ("a", "b")),
+        ("g_or", GateType.OR, ("a", "b")),
+        ("g_nor", GateType.NOR, ("a", "b")),
+        ("g_xor", GateType.XOR, ("a", "b")),
+        ("g_xnor", GateType.XNOR, ("a", "b")),
+        ("g_mux", GateType.MUX, ("s", "g_and", "g_or")),
+        ("g_c0", GateType.CONST0, ()),
+        ("g_c1", GateType.CONST1, ()),
+    ]
+    for output, gtype, inputs in gates:
+        circuit.add_gate(output, gtype, inputs)
+    circuit.add_gate("y", GateType.OR,
+                     ("g_buf", "g_not", "g_nand", "g_nor",
+                      "g_xor", "g_xnor", "g_mux", "g_c0", "g_c1"))
+    circuit.add_output("y")
+    verify_compiled(compile_circuit(circuit, codegen=False))
+
+
+def test_empty_program_verifies():
+    circuit = Circuit(name="wires")
+    circuit.add_input("a")
+    circuit.add_output("a")
+    assert verify_compiled(compile_circuit(circuit, codegen=False)) == []
+
+
+# --------------------------------------------------------------------- #
+# seeded violations are caught with precise messages
+# --------------------------------------------------------------------- #
+def violations_of(source, defined=frozenset()):
+    with pytest.raises(KernelVerificationError) as err:
+        verify_kernel_source(source, set(defined), label="<test>")
+    return "\n".join(err.value.violations)
+
+
+def test_use_before_def_caught():
+    text = violations_of(
+        "def _kernel(v, mask):\n    v[1] = v[0] & v[2]\n", {0}
+    )
+    assert "reads v[2] before it is defined" in text
+
+
+def test_spliced_cycle_caught():
+    # A combinational cycle lowered to straight-line code reads its own
+    # output slot: use-before-def on itself.
+    text = violations_of(
+        "def _kernel(v, mask):\n    v[1] = v[0] & v[1]\n", {0}
+    )
+    assert "reads v[1] before it is defined" in text
+
+
+def test_double_assignment_caught():
+    text = violations_of(
+        "def _kernel(v, mask):\n    v[1] = v[0]\n    v[1] = mask ^ v[0]\n", {0}
+    )
+    assert "assigned twice" in text
+
+
+def test_call_injection_caught():
+    text = violations_of(
+        "def _kernel(v, mask):\n    v[1] = __import__('os').getpid()\n", {0}
+    )
+    assert "not in the straight-line bitwise whitelist" in text
+
+
+def test_statement_injection_caught():
+    text = violations_of(
+        "def _kernel(v, mask):\n    import os\n    v[1] = v[0]\n", {0}
+    )
+    assert "is not a single v[slot] assignment" in text
+
+
+def test_non_bitwise_operator_caught():
+    text = violations_of(
+        "def _kernel(v, mask):\n    v[1] = v[0] + v[0]\n", {0}
+    )
+    assert "Add" in text and "not a bitwise op" in text
+
+
+def test_stray_literal_caught():
+    # Any constant other than 0 (e.g. a hand-inlined mask) is a
+    # width-consistency bug: only the mask parameter is legal.
+    text = violations_of(
+        "def _kernel(v, mask):\n    v[1] = v[0] ^ 255\n", {0}
+    )
+    assert "literal 255" in text and "mask" in text
+
+
+def test_zero_constant_allowed():
+    defined = {0}
+    assert verify_kernel_source(
+        "def _kernel(v, mask):\n    v[1] = 0\n", defined
+    ) == [1]
+
+
+def test_free_name_caught():
+    text = violations_of(
+        "def _kernel(v, mask):\n    v[1] = v[0] & evil\n", {0}
+    )
+    assert "free name 'evil'" in text
+
+
+def test_wrong_signature_caught():
+    with pytest.raises(KernelVerificationError) as err:
+        verify_kernel_source("def _kernel(v, mask, extra):\n    pass\n", set())
+    assert "signature" in str(err.value)
+
+
+def test_non_constant_index_caught():
+    text = violations_of(
+        "def _kernel(v, mask):\n    v[1] = v[mask]\n", {0}
+    )
+    assert "non-constant slot index" in text
+
+
+def test_cross_chunk_use_before_def_caught():
+    # Chunk 2 reading a slot no chunk defined must fail even though each
+    # chunk is individually well-formed.
+    defined = {0}
+    verify_kernel_source("def _kernel(v, mask):\n    v[1] = v[0]\n", defined)
+    with pytest.raises(KernelVerificationError):
+        verify_kernel_source("def _kernel(v, mask):\n    v[3] = v[2]\n", defined)
+
+
+def test_verify_compiled_catches_corrupted_ops():
+    compiled = compile_circuit(small_circuit(), codegen=False)
+    # Splice a cycle at the op level: the last op now reads its own output.
+    victim = compiled.ops[-1]
+    compiled.ops[-1] = type(victim)(
+        gtype=victim.gtype,
+        out_slot=victim.out_slot,
+        in_slots=(victim.out_slot,) + victim.in_slots[1:],
+        level=victim.level,
+    )
+    with pytest.raises(KernelVerificationError) as err:
+        verify_compiled(compiled)
+    assert f"reads v[{victim.out_slot}] before it is defined" in str(err.value)
+
+
+# --------------------------------------------------------------------- #
+# compile-time integration (env flag / verify parameter)
+# --------------------------------------------------------------------- #
+def test_compile_circuit_verify_flag_runs_before_exec(monkeypatch):
+    # Corrupt the code generator so it emits a call; verify=True must
+    # refuse to exec it.
+    from repro.engine import compiler
+
+    real = compiler._op_expression
+
+    def evil(op):
+        return "print(" + real(op) + ")"
+
+    monkeypatch.setattr(compiler, "_op_expression", evil)
+    with pytest.raises(KernelVerificationError):
+        compile_circuit(small_circuit(), verify=True)
+    # And the error is a CircuitError, so existing handlers catch it.
+    assert issubclass(KernelVerificationError, CircuitError)
+
+
+def test_compile_circuit_env_opt_in(monkeypatch):
+    from repro.engine import compiler
+
+    real = compiler._op_expression
+    monkeypatch.setattr(compiler, "_op_expression",
+                        lambda op: "print(" + real(op) + ")")
+    monkeypatch.setenv("REPRO_CHECK_KERNELS", "0")
+    compile_circuit(small_circuit())  # unverified: exec succeeds (prints nothing run)
+    monkeypatch.setenv("REPRO_CHECK_KERNELS", "1")
+    with pytest.raises(KernelVerificationError):
+        compile_circuit(small_circuit())
+
+
+def test_kernel_sources_match_exec_path():
+    compiled = compile_circuit(small_circuit(), codegen=True, verify=True)
+    chunks = list(kernel_sources(compiled.ops))
+    assert len(chunks) == len(compiled._kernels)
+    assert all(source.startswith("def _kernel(v, mask):") for _, source in chunks)
+
+
+# --------------------------------------------------------------------- #
+# runtime word sanitizer
+# --------------------------------------------------------------------- #
+def test_verify_packed_words_clean():
+    verify_packed_words([0, 1, 255], 255)
+
+
+def test_verify_packed_words_catches_overflow_and_sign():
+    with pytest.raises(KernelVerificationError) as err:
+        verify_packed_words([0, 256], 255)
+    assert "word #1" in str(err.value)
+    with pytest.raises(KernelVerificationError):
+        verify_packed_words([-1], 255)
+
+
+def test_packed_simulator_check_words_flag(monkeypatch):
+    monkeypatch.setenv("REPRO_CHECK_KERNELS", "1")
+    circuit = small_circuit()
+    sim = PackedSimulator(circuit)
+    assert sim.check_words
+    out = sim.output_words({"a": 0b1010, "b": 0b1100, "c": 0b0110}, width=4)
+    assert out["y"] == (~((0b1010 & 0b1100) | ((0b1010 & 0b1100) ^ 0b0110))) & 0b1111
