@@ -4,7 +4,9 @@ A wrapping counter re-uses the key schedule forever (the configuration the
 paper evaluates); a saturating counter needs the key sequence only once and
 then stays on the last key.  Both must preserve functionality under the
 correct schedule; this benchmark measures the locking + verification cost of
-each and checks the functional contract.
+each and checks the functional contract.  ``REPRO_BENCH_SMOKE=1`` halves
+the equivalence-check sequences (matching the registry's
+``ablation.counter_mode`` smoke params).
 """
 
 import pytest
@@ -16,9 +18,11 @@ from repro.sim.seqsim import apply_key_to_sequence
 
 
 @pytest.mark.parametrize("saturate", [False, True], ids=["wrap", "saturate"])
-def test_ablation_counter_mode(benchmark, saturate):
+def test_ablation_counter_mode(benchmark, saturate, perf_smoke):
     generated = load_itc99("b03")
     circuit = generated.circuit
+    num_sequences = 2 if perf_smoke else 4
+    sequence_length = 16 if perf_smoke else 32
 
     def run():
         locked = CuteLockStr(num_keys=4, key_width=3, num_locked_ffs=2,
@@ -28,12 +32,14 @@ def test_ablation_counter_mode(benchmark, saturate):
             schedule = list(locked.schedule.values) + [locked.schedule.values[-1]] * 60
             verdict = sequential_equivalence_check(
                 circuit, locked.circuit, key_schedule=schedule,
-                key_inputs=locked.key_inputs, num_sequences=4, sequence_length=32,
+                key_inputs=locked.key_inputs, num_sequences=num_sequences,
+                sequence_length=sequence_length,
             )
         else:
             verdict = sequential_equivalence_check(
                 circuit, locked.circuit, key_schedule=locked.schedule.values,
-                key_inputs=locked.key_inputs, num_sequences=4, sequence_length=32,
+                key_inputs=locked.key_inputs, num_sequences=num_sequences,
+                sequence_length=sequence_length,
             )
         return verdict
 

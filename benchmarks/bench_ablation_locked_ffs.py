@@ -5,7 +5,11 @@ oracle-guided SAT attacks, locking more FFs would provide more resilience
 against dataflow and removal attacks."  This benchmark sweeps the number of
 locked flip-flops on one ITC'99-like benchmark and reports the DANA NMI —
 which should fall (or at least not rise) as more flip-flops are locked.
+``REPRO_BENCH_SMOKE=1`` thins the sweep to its endpoints (matching the
+registry's ``ablation.locked_ffs`` smoke params).
 """
+
+import os
 
 import pytest
 
@@ -13,8 +17,10 @@ from repro.attacks.dana import dana_attack
 from repro.benchmarks_data.itc99 import load_itc99
 from repro.locking.cutelock_str import CuteLockStr
 
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
 
-@pytest.mark.parametrize("num_locked_ffs", [1, 4, 8, 16])
+
+@pytest.mark.parametrize("num_locked_ffs", [1, 8] if SMOKE else [1, 4, 8, 16])
 def test_ablation_dana_nmi_vs_locked_ffs(benchmark, num_locked_ffs):
     generated = load_itc99("b10")
 

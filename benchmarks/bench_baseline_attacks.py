@@ -3,6 +3,8 @@
 RLL falls to the exact SAT attack, SARLock to DoubleDIP, TTLock to FALL and
 HARPOON to the incremental unrolling attack — the literature results that
 make the Cute-Lock resistance rows of Tables III/IV meaningful.
+``REPRO_BENCH_SMOKE=1`` shrinks the per-attack budget via the smoke-aware
+``attack_time_limit`` fixture.
 """
 
 import pytest

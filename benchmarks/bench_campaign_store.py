@@ -3,14 +3,15 @@
 Two hot paths grew with the sharding work and both must stay linear:
 
 * ``ResultStore.append`` once recomputed the attempt number by scanning
-  every stored record — O(n^2) over a sweep, which at paper scale (tens of
-  thousands of cells x seeds) turned the *store* into the bottleneck.  The
-  per-key counter keeps appends O(1); the bar below fails if a rescan ever
-  comes back.
-* ``merge_stores`` folds N shard files into the canonical store at the end
-  of a multi-host sweep.  It reads, dedups, sorts and rewrites every record,
-  so its cost is the floor on how often an operator can re-merge to watch a
-  sweep converge.
+  every stored record — O(n^2) over a sweep; the per-key counter keeps
+  appends O(1) and the ``campaign.store_append`` bar fails if a rescan
+  ever comes back.
+* ``merge_stores`` folds N shard files into the canonical store; the
+  ``campaign.store_merge`` bench also re-checks that re-merging is a
+  byte-stable no-op.
+
+Workloads, smoke scaling and the rate bars live in the :mod:`repro.perf`
+registry (``repro/perf/suites/campaign.py``).
 
 Run with:
     PYTHONPATH=src python -m pytest benchmarks/bench_campaign_store.py -q -s
@@ -18,85 +19,12 @@ Run with:
 Set ``REPRO_BENCH_SMOKE=1`` (the CI smoke job does) for a reduced-size run.
 """
 
-import json
-import os
-import time
 
-from repro.campaign import ResultStore, merge_stores
-
-SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
-#: Appends measured against the in-memory store (no fsync noise).
-NUM_APPENDS = 5_000 if SMOKE else 20_000
-#: Distinct job keys the appends cycle over (retries per key = N / KEYS).
-NUM_KEYS = 500 if SMOKE else 2_000
-#: Required sustained append rate.  The O(n^2) scan managed ~hundreds/s at
-#: this scale; the O(1) counter sustains tens of thousands per second.
-APPEND_RATE_BAR = 5_000.0
-
-#: Shard-merge grid: SHARDS files x RECORDS_PER_SHARD records.
-SHARDS = 4
-RECORDS_PER_SHARD = 1_000 if SMOKE else 4_000
-MERGE_RATE_BAR = 2_000.0
+def test_append_throughput_bar(perf_run):
+    """Sustained in-memory appends >= 5000/s (O(1) attempt counter)."""
+    perf_run("campaign.store_append")
 
 
-def test_append_throughput_is_linear():
-    store = ResultStore(None)
-    start = time.perf_counter()
-    for index in range(NUM_APPENDS):
-        store.append({
-            "key": f"job-{index % NUM_KEYS:05d}",
-            "status": "completed",
-            "payload": {"value": index},
-        })
-    elapsed = time.perf_counter() - start
-    rate = NUM_APPENDS / elapsed
-    print()
-    print(f"store appends, {NUM_APPENDS} records over {NUM_KEYS} keys:")
-    print(f"  elapsed : {elapsed:8.2f} s")
-    print(f"  rate    : {rate:8.0f} records/s  (bar: >= {APPEND_RATE_BAR:.0f}/s)")
-    assert len(store) == NUM_APPENDS
-    assert store.record_for("job-00000")["attempt"] == NUM_APPENDS // NUM_KEYS
-    assert rate >= APPEND_RATE_BAR, (
-        f"store.append sustained only {rate:.0f} records/s "
-        f"(required >= {APPEND_RATE_BAR:.0f}/s) — did the per-key attempt "
-        "counter regress to a full-store rescan?"
-    )
-
-
-def test_merge_throughput(tmp_path):
-    root = tmp_path / "store"
-    root.mkdir()
-    total = SHARDS * RECORDS_PER_SHARD
-    # Write the shard files directly (append's per-record fsync is deliberate
-    # durability work and would dominate the setup, not the merge).
-    for shard in range(SHARDS):
-        with (root / f"results-{shard + 1}of{SHARDS}.jsonl").open("w") as handle:
-            for index in range(RECORDS_PER_SHARD):
-                handle.write(json.dumps({
-                    "key": f"job-{shard}-{index:05d}",
-                    "status": "completed",
-                    "payload": {"value": index},
-                    "finished_at": 1_000_000.0 + shard + index,
-                    "attempt": 1,
-                }) + "\n")
-
-    start = time.perf_counter()
-    summary = merge_stores(root)
-    elapsed = time.perf_counter() - start
-    rate = total / elapsed
-    print()
-    print(f"shard merge, {SHARDS} shards x {RECORDS_PER_SHARD} records:")
-    print(f"  elapsed : {elapsed:8.2f} s")
-    print(f"  rate    : {rate:8.0f} records/s  (bar: >= {MERGE_RATE_BAR:.0f}/s)")
-    assert summary.records_out == total
-    assert len(ResultStore(root)) == total
-    assert rate >= MERGE_RATE_BAR, (
-        f"merge_stores sustained only {rate:.0f} records/s "
-        f"(required >= {MERGE_RATE_BAR:.0f}/s)"
-    )
-
-    # Re-merging (canonical + all shards) must be a byte-stable no-op.
-    before = (root / "results.jsonl").read_bytes()
-    again = merge_stores(root)
-    assert (root / "results.jsonl").read_bytes() == before
-    assert again.duplicates == total
+def test_merge_throughput_bar(perf_run):
+    """Shard merge >= 2000 records/s; re-merge is a byte-stable no-op."""
+    perf_run("campaign.store_merge")

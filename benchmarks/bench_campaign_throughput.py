@@ -1,15 +1,14 @@
 """Wall-clock speedup of the parallel campaign executor over serial.
 
 The campaign executor's job is to overlap independent experiment cells.
-This benchmark measures exactly that overlap with a grid of fixed-duration
-``sleep`` jobs — chosen deliberately: sleep cells have *known* ideal
-wall-clock (jobs x seconds serially, ~ceil(jobs / workers) x seconds in
-parallel), so the measured ratio isolates the executor's fan-out, queueing
-and result-store overhead from the attacks' CPU contention.  Because the
-cells block rather than compute, the expected speedup holds even on the
-2-core CI runners ("a 2-core grid"): the bar below asserts the parallel
-executor is at least 2x faster than serial, with the grid sized so the
-ideal ratio (= the worker count) leaves slack for pool start-up.
+The registered benches measure exactly that overlap with a grid of
+fixed-duration ``sleep`` jobs — chosen deliberately: sleep cells have
+*known* ideal wall-clock, so the measured ratio isolates the executor's
+fan-out, queueing and result-store overhead from the attacks' CPU
+contention, and the bar holds even on 2-core CI runners.
+
+Grid sizes, smoke scaling and the speedup / resume bars live in the
+:mod:`repro.perf` registry (``repro/perf/suites/campaign.py``).
 
 Run with:
     PYTHONPATH=src python -m pytest benchmarks/bench_campaign_throughput.py -q -s
@@ -17,66 +16,13 @@ Run with:
 Set ``REPRO_BENCH_SMOKE=1`` (the CI smoke job does) for a reduced-size run.
 """
 
-import os
-import time
 
-from repro.campaign import CampaignSpec, JobSpec, ResultStore, run_campaign
-
-SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
-#: Grid size and per-job duration.
-NUM_JOBS = 8 if SMOKE else 16
-JOB_SECONDS = 0.25 if SMOKE else 0.5
-#: Pool width.  Sleep jobs block instead of burning CPU, so oversubscribing
-#: cores is fine and the ideal parallel speedup equals the worker count.
-WORKERS = 4
-#: Required parallel-over-serial wall-clock speedup.  Ideal is WORKERS (4x);
-#: the slack absorbs process-pool start-up and per-record fsync.
-SPEEDUP_BAR = 2.0
+def test_parallel_campaign_speedup_bar(perf_run):
+    """Parallel executor >= 2x faster than serial on the sleep grid."""
+    result = perf_run("campaign.executor_speedup")
+    assert result.metrics["serial_seconds"] > result.metrics["parallel_seconds"]
 
 
-def _grid():
-    return CampaignSpec(
-        name="bench-campaign",
-        jobs=[
-            JobSpec(kind="sleep", group="bench",
-                    params={"seconds": JOB_SECONDS, "marker": index})
-            for index in range(NUM_JOBS)
-        ],
-    )
-
-
-def _timed_run(workers):
-    store = ResultStore(None)
-    start = time.perf_counter()
-    summary = run_campaign(_grid(), store, workers=workers)
-    elapsed = time.perf_counter() - start
-    assert summary.completed == NUM_JOBS, summary
-    return elapsed
-
-
-def test_parallel_campaign_speedup():
-    serial = _timed_run(workers=0)
-    parallel = _timed_run(workers=WORKERS)
-    speedup = serial / parallel
-    print()
-    print(f"campaign executor, {NUM_JOBS} x {JOB_SECONDS}s cells:")
-    print(f"  serial   : {serial:8.2f} s")
-    print(f"  parallel : {parallel:8.2f} s  ({WORKERS} workers)")
-    print(f"  speedup  : {speedup:8.2f} x  (bar: >= {SPEEDUP_BAR:.1f}x)")
-    assert speedup >= SPEEDUP_BAR, (
-        f"parallel campaign executor only {speedup:.2f}x faster than serial "
-        f"(required >= {SPEEDUP_BAR:.1f}x)"
-    )
-
-
-def test_resume_skips_all_completed_cells(tmp_path):
+def test_resume_skips_all_completed_cells_bar(perf_run):
     """Resume on a finished store must cost (almost) nothing."""
-    store = ResultStore(tmp_path / "store")
-    run_campaign(_grid(), store, workers=WORKERS)
-    start = time.perf_counter()
-    summary = run_campaign(_grid(), ResultStore(tmp_path / "store"), workers=WORKERS)
-    elapsed = time.perf_counter() - start
-    print(f"\nresume over {NUM_JOBS} completed cells: {elapsed:.3f} s")
-    assert summary.executed == 0
-    assert summary.skipped == NUM_JOBS
-    assert elapsed < NUM_JOBS * JOB_SECONDS / 2  # far below re-running
+    perf_run("campaign.resume_skip")

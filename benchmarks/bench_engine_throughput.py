@@ -1,10 +1,10 @@
 """Throughput of the packed bit-parallel engine versus the scalar simulator.
 
-Records vectors/second for the scalar ``CombinationalSimulator`` (one dict
-evaluation per vector) and for the packed ``PackedSimulator`` (64 vectors per
-bitwise pass) on an ISCAS'89-scale circuit, so future PRs can track the
-speedup.  The comparative test asserts the >= 10x acceptance bar for the
-engine on 64-vector batches.
+The three ``test_perf_*`` functions are conventional pytest-benchmark
+measurements on the embedded ISCAS'89 profile; the acceptance bar (>= 10x
+scalar throughput on 64-vector batches, 5x in smoke) lives in the
+:mod:`repro.perf` registry as ``engine.packed_speedup`` and is enforced
+through the ``perf_run`` fixture.
 
 Run with:  PYTHONPATH=src python -m pytest benchmarks/bench_engine_throughput.py -q
 
@@ -12,29 +12,13 @@ Set ``REPRO_BENCH_SMOKE=1`` (the CI smoke job does) for a reduced-size run:
 a smaller generated circuit, shorter timing windows and a relaxed bar.
 """
 
-import os
-import random
-import time
-
-from repro.benchmarks_data.iscas89 import load_iscas89
 from repro.engine.packed import PackedSimulator, pack_vectors
+from repro.perf.suites.engine import BATCH, prepared_circuit
 from repro.sim.logicsim import CombinationalSimulator
-
-BATCH = 64
-SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
-
-
-def _prepared(name="s15850"):
-    circuit = load_iscas89(name).circuit.combinational_view()
-    rng = random.Random(0)
-    vectors = [
-        {net: rng.randint(0, 1) for net in circuit.inputs} for _ in range(BATCH)
-    ]
-    return circuit, vectors
 
 
 def test_perf_scalar_simulator_64_vectors(benchmark):
-    circuit, vectors = _prepared()
+    circuit, vectors = prepared_circuit()
     sim = CombinationalSimulator(circuit)
 
     def run():
@@ -46,7 +30,7 @@ def test_perf_scalar_simulator_64_vectors(benchmark):
 
 
 def test_perf_packed_simulator_64_vectors(benchmark):
-    circuit, vectors = _prepared()
+    circuit, vectors = prepared_circuit()
     sim = PackedSimulator(circuit)
 
     def run():
@@ -59,7 +43,7 @@ def test_perf_packed_simulator_64_vectors(benchmark):
 
 def test_perf_packed_word_level_64_lanes(benchmark):
     """The word-level API (no per-vector dict transpose) — the true kernel cost."""
-    circuit, vectors = _prepared()
+    circuit, vectors = prepared_circuit()
     sim = PackedSimulator(circuit)
     words = pack_vectors(vectors, circuit.inputs)
 
@@ -70,44 +54,9 @@ def test_perf_packed_word_level_64_lanes(benchmark):
     assert len(result) == len(circuit.outputs)
 
 
-def test_packed_engine_speedup_at_least_10x():
-    """Acceptance bar: >= 10x scalar throughput for 64-vector batches.
-
-    The embedded ISCAS'89 profiles are scaled-down stand-ins (~220 gates);
-    the real s15850 has ~10k gates.  The bar is measured on a generated
-    circuit of genuine ISCAS'89 size, where gate evaluation (not the
-    pack/unpack transpose) dominates, as it does on the real benchmarks.
-    """
-    from repro.benchmarks_data.generator import random_sequential_circuit
-
-    num_gates = 800 if SMOKE else 2000
-    speedup_bar = 5.0 if SMOKE else 10.0
-    circuit = random_sequential_circuit(
-        "s15850_scale", num_inputs=30, num_outputs=30, num_dffs=50,
-        num_gates=num_gates, seed=1,
-    ).circuit.combinational_view()
-    rng = random.Random(0)
-    vectors = [
-        {net: rng.randint(0, 1) for net in circuit.inputs} for _ in range(BATCH)
-    ]
-    scalar = CombinationalSimulator(circuit)
-    packed = PackedSimulator(circuit)
-
-    # Results must agree before timing means anything.
-    assert packed.outputs_batch(vectors) == [scalar.outputs(v) for v in vectors]
-
-    def throughput(fn, min_seconds=0.05 if SMOKE else 0.2):
-        rounds, elapsed = 0, 0.0
-        while elapsed < min_seconds:
-            start = time.perf_counter()
-            fn()
-            elapsed += time.perf_counter() - start
-            rounds += 1
-        return rounds * BATCH / elapsed
-
-    scalar_vps = throughput(lambda: [scalar.outputs(v) for v in vectors])
-    packed_vps = throughput(lambda: packed.outputs_batch(vectors))
-    speedup = packed_vps / scalar_vps
-    print(f"\nscalar: {scalar_vps:,.0f} vec/s  packed: {packed_vps:,.0f} vec/s  "
-          f"speedup: {speedup:.1f}x")
-    assert speedup >= speedup_bar, f"packed engine only {speedup:.1f}x over scalar"
+def test_packed_engine_speedup_bar(perf_run):
+    """Acceptance bar: >= 10x scalar throughput for 64-vector batches."""
+    result = perf_run("engine.packed_speedup")
+    assert result.metrics["speedup"] == (
+        result.metrics["packed_vps"] / result.metrics["scalar_vps"]
+    )

@@ -3,7 +3,9 @@
 Regenerates the four metric panels (power, area, cell count, I/O count) and
 asserts the paper's qualitative findings: Cute-Lock-Str's relative overhead
 shrinks with circuit size, and on small circuits its lighter configurations
-undercut the DK-Lock average cell count.
+undercut the DK-Lock average cell count.  The quick configuration is
+already the smoke floor, so ``REPRO_BENCH_SMOKE`` changes nothing here by
+design.
 """
 
 from repro.experiments.figure4 import run_figure4

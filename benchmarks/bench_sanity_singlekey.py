@@ -3,6 +3,8 @@
 Section IV-A of the paper notes that locking with all key values equal
 reduces Cute-Lock to a single-key scheme, which the SAT attacks then break —
 the control experiment showing the attacks are implemented faithfully.
+``REPRO_BENCH_SMOKE=1`` shrinks the per-attack budget via the smoke-aware
+``attack_time_limit`` fixture.
 """
 
 from repro.attacks import int_attack, sat_attack

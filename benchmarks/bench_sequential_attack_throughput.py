@@ -4,18 +4,15 @@ The sequential oracle-guided attacks (BMC/"BBO", INT, KC2) spend their time
 in the Discriminating-Input-Sequence refinement loop.  PR 2 rebuilt that loop
 on the packed engine: up to ``dis_batch`` DISes are harvested per solver
 round behind activation-gated blocking clauses and answered by one
-lane-parallel ``BatchedSequentialOracle.query_batch`` pass, the
-non-incremental mode amortizes its per-query solver rebuild over the whole
-round, and depth growth extends the unrolling in place.  ``engine="scalar"``
-preserves the original one-DIS-at-a-time path, which is what these tests
-race against.
+lane-parallel ``BatchedSequentialOracle.query_batch`` pass.  The workload is
+SARLock on the embedded ISCAS'89 ``s5378`` profile — the canonical "one DIS
+per wrong key" scheme, so both engines execute the identical number of DIS
+rounds and rounds/second compare identical work.
 
-The workload is SARLock on the embedded ISCAS'89 ``s5378`` profile: SARLock
-is the canonical "one DIS per wrong key" scheme, so the DIS loop runs for as
-many rounds as we allow with cheap individual solver calls — exactly the
-regime the paper's Table III/IV attack budgets are spent in.  Both engines
-execute the identical number of DIS rounds (the iteration cap), making
-rounds/second directly comparable, and the attack outcomes must agree.
+Workloads, smoke scaling and the speedup bars (3x full, 2x smoke) live in
+the :mod:`repro.perf` registry (``repro/perf/suites/attacks.py``); the
+identical-work and identical-verdict checks run inside the registered
+benches.
 
 Run with:
     PYTHONPATH=src python -m pytest benchmarks/bench_sequential_attack_throughput.py -q -s
@@ -24,75 +21,12 @@ Set ``REPRO_BENCH_SMOKE=1`` (the CI smoke job does) for a reduced-size run
 with a correspondingly relaxed speedup bar.
 """
 
-import os
-import time
 
-from repro.attacks.sequential_core import sequential_oracle_guided_attack
-from repro.benchmarks_data.iscas89 import load_iscas89
-from repro.locking.baselines.sarlock import lock_sarlock
-
-SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
-#: DIS rounds each engine must execute (both hit this cap, so rates compare
-#: identical work).
-MAX_ITERATIONS = 16 if SMOKE else 48
-#: Required packed-over-scalar DIS-loop speedup.  Full size has ~6-7x of
-#: headroom in practice; smoke runs fewer rounds, so the harvest quota ramp
-#: (1, 2, 4, ...) has less time at full width and the bar is relaxed.
-SPEEDUP_BAR = 2.0 if SMOKE else 3.0
-DIS_BATCH = 16
-DEPTH = 3
-
-
-def _locked():
-    return lock_sarlock(load_iscas89("s5378").circuit, num_key_bits=8, seed=7)
-
-
-def _dis_loop_rate(locked, *, engine, incremental, crunch_keys):
-    """Run the capped DIS loop and return (result, rounds per second)."""
-    start = time.perf_counter()
-    result = sequential_oracle_guided_attack(
-        locked,
-        attack_name="bench",
-        incremental=incremental,
-        crunch_keys=crunch_keys,
-        engine=engine,
-        dis_batch=DIS_BATCH,
-        initial_depth=DEPTH,
-        max_depth=DEPTH,
-        max_iterations=MAX_ITERATIONS,
-        time_limit=600.0,
-    )
-    elapsed = time.perf_counter() - start
-    return result, result.iterations / elapsed
-
-
-def _compare(incremental, crunch_keys, label):
-    locked = _locked()
-    packed, packed_rate = _dis_loop_rate(
-        locked, engine="packed", incremental=incremental, crunch_keys=crunch_keys
-    )
-    scalar, scalar_rate = _dis_loop_rate(
-        locked, engine="scalar", incremental=incremental, crunch_keys=crunch_keys
-    )
-    speedup = packed_rate / scalar_rate
-    print(f"\n{label}: packed {packed_rate:,.1f} DIS rounds/s  "
-          f"scalar {scalar_rate:,.1f} DIS rounds/s  speedup {speedup:.1f}x")
-
-    # Identical work and identical verdicts before the rates mean anything.
-    assert packed.iterations == scalar.iterations == MAX_ITERATIONS
-    assert packed.outcome == scalar.outcome
-    assert packed.details["oracle_queries"] == scalar.details["oracle_queries"]
-    assert speedup >= SPEEDUP_BAR, (
-        f"batched {label} DIS loop only {speedup:.1f}x over scalar "
-        f"(bar: {SPEEDUP_BAR}x)"
-    )
-
-
-def test_bmc_dis_loop_speedup():
+def test_bmc_dis_loop_speedup_bar(perf_run):
     """Non-incremental ("BBO") mode: batching also amortizes the rebuild."""
-    _compare(incremental=False, crunch_keys=False, label="bmc")
+    perf_run("attacks.dis_loop_bmc")
 
 
-def test_kc2_dis_loop_speedup():
+def test_kc2_dis_loop_speedup_bar(perf_run):
     """Incremental + key-condition crunching: crunch runs once per batch."""
-    _compare(incremental=True, crunch_keys=True, label="kc2")
+    perf_run("attacks.dis_loop_kc2")

@@ -4,23 +4,14 @@ The session layer (:mod:`repro.sat.session`) ships two CDCL backends: the
 reference ``"cdcl"`` solver and the tuned ``"cdcl-arena"`` variant (flattened
 clause arena, flat watcher lists with blocker literals, inlined propagation).
 Both must return identical SAT/UNSAT answers; the arena variant must be
-**at least 1.5x faster at unit propagation**, measured as sustained
-``stats.propagations`` per second on two workloads:
+**at least 1.5x faster at unit propagation** on the BCP cascade and
+**>= 1.2x end-to-end** on conflict-heavy search, and the trace subsystem
+must cost at most 5% with no active tracer and at most 25% tracing at the
+default stride.
 
-* **BCP cascade** — a layered circuit-style CNF solved repeatedly under
-  full input assumptions, so every query is one long conflict-free
-  propagation cascade.  This is the shape of the attacks' DIP/DIS hot loop
-  and the workload the 1.5x bar is enforced on.
-* **search** — random 3-SAT near the phase transition plus a pigeonhole
-  instance, where conflict analysis and branching (shared code) dilute the
-  propagation win; the arena backend must still not fall behind the
-  reference (>= 1.2x end-to-end here, with healthy margin in practice).
-
-The event-trace subsystem (:mod:`repro.trace`) is gated here too: with no
-active tracer the hooks must cost at most 5% on the BCP cascade (measured as
-the full ``SolveSession`` path against the raw solver), and with tracing ON
-at the default sampling stride a conflict-heavy search run must keep at
-least 75% of its untraced throughput.
+All four bars, their workload builders and their smoke scaling live in the
+:mod:`repro.perf` registry (``repro/perf/suites/solver.py``); this module
+is the pytest face of those registered benches.
 
 Run with:
     PYTHONPATH=src python -m pytest benchmarks/bench_solver_throughput.py -q -s
@@ -28,180 +19,7 @@ Run with:
 Set ``REPRO_BENCH_SMOKE=1`` (the CI smoke job does) for a reduced-size run.
 """
 
-import os
-import random
-import time
-from contextlib import nullcontext
-
-from repro.sat.session import SolveSession, create_solver, solver_backends
-from repro.trace import read_trace_events, trace_to
-
-SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
-
-#: BCP workload size: gates in the layered CNF / assumption queries.
-BCP_GATES = 2_000 if SMOKE else 4_000
-BCP_QUERIES = 30 if SMOKE else 60
-#: Required arena-over-reference propagation-rate ratio on the BCP cascade.
-BCP_RATIO_BAR = 1.5
-
-#: Search workload size: random 3-SAT instances + conflict budget each.
-SEARCH_INSTANCES = 3 if SMOKE else 6
-SEARCH_VARS = 100 if SMOKE else 120
-SEARCH_CONFLICTS = 12_000 if SMOKE else 20_000
-SEARCH_RATIO_BAR = 1.2
-
-#: Timing repetitions (best-of, to shrug off CI runner noise).
-REPEATS = 3
-
-#: Trace-overhead bars: max slowdown with tracing off (hooks present but no
-#: active writer) and with tracing on at the default sampling stride.
-TRACE_OFF_MAX_SLOWDOWN = 0.05
-TRACE_ON_MAX_SLOWDOWN = 0.25
-
-
-def layered_circuit_cnf(num_inputs=60, num_gates=BCP_GATES, seed=9):
-    """AND/OR/XOR Tseitin-style clauses over a layered random netlist."""
-    rng = random.Random(seed)
-    clauses = []
-    nets = list(range(1, num_inputs + 1))
-    next_var = num_inputs + 1
-    for _ in range(num_gates):
-        pool = nets[-200:] if len(nets) > 200 else nets
-        a, b = rng.sample(pool, 2)
-        out = next_var
-        next_var += 1
-        kind = rng.random()
-        if kind < 0.4:  # AND
-            clauses += [[-out, a], [-out, b], [out, -a, -b]]
-        elif kind < 0.8:  # OR
-            clauses += [[out, -a], [out, -b], [-out, a, b]]
-        else:  # XOR
-            clauses += [[-out, a, b], [-out, -a, -b], [out, -a, b], [out, a, -b]]
-        nets.append(out)
-    return clauses, num_inputs
-
-
-def pigeonhole(holes, pigeons):
-    clauses = []
-
-    def var(p, h):
-        return p * holes + h + 1
-
-    for p in range(pigeons):
-        clauses.append([var(p, h) for h in range(holes)])
-    for h in range(holes):
-        for p1 in range(pigeons):
-            for p2 in range(p1 + 1, pigeons):
-                clauses.append([-var(p1, h), -var(p2, h)])
-    return clauses
-
-
-def search_instances():
-    rng = random.Random(123)
-    instances = []
-    for _ in range(SEARCH_INSTANCES):
-        clauses = [
-            [rng.choice([1, -1]) * rng.randint(1, SEARCH_VARS) for _ in range(3)]
-            for _ in range(int(SEARCH_VARS * 4.26))
-        ]
-        instances.append(clauses)
-    instances.append(pigeonhole(6 if SMOKE else 7, 7 if SMOKE else 8))
-    return instances
-
-
-def _bcp_rate(backend, repeats=REPEATS):
-    clauses, num_inputs = layered_circuit_cnf()
-    rng = random.Random(1)
-    assumption_sets = [
-        [(v if rng.random() < 0.5 else -v) for v in range(1, num_inputs + 1)]
-        for _ in range(BCP_QUERIES)
-    ]
-    best = 0.0
-    for _ in range(repeats):
-        solver = create_solver(backend)
-        solver.add_clauses(clauses)
-        solver.solve(assumptions=assumption_sets[0])  # warm-up
-        start = time.perf_counter()
-        before = solver.stats.propagations
-        for assumptions in assumption_sets:
-            answer = solver.solve(assumptions=assumptions)
-            assert answer is True
-        elapsed = time.perf_counter() - start
-        best = max(best, (solver.stats.propagations - before) / elapsed)
-    return best
-
-
-def _search_rate(backend, answers_out):
-    best = 0.0
-    for repeat in range(REPEATS):
-        propagations = 0
-        answers = []
-        start = time.perf_counter()
-        for clauses in search_instances():
-            solver = create_solver(backend)
-            solver.add_clauses(clauses)
-            answers.append(solver.solve(conflict_limit=SEARCH_CONFLICTS))
-            propagations += solver.stats.propagations
-        elapsed = time.perf_counter() - start
-        best = max(best, propagations / elapsed)
-        if repeat == 0:
-            answers_out[backend] = answers
-    return best
-
-
-def _session_bcp_rate(backend, repeats=REPEATS):
-    """BCP-cascade propagation rate through the full SolveSession path.
-
-    No tracer is active, so this is the tracing-OFF shape of the hot loop:
-    hook attributes exist on the solver but every check is a ``None`` test
-    on the (empty, for this workload) conflict branch.
-    """
-    clauses, num_inputs = layered_circuit_cnf()
-    rng = random.Random(1)
-    assumption_sets = [
-        [(v if rng.random() < 0.5 else -v) for v in range(1, num_inputs + 1)]
-        for _ in range(BCP_QUERIES)
-    ]
-    best = 0.0
-    for _ in range(repeats):
-        session = SolveSession(backend)
-        session.solver.add_clauses(clauses)
-        session.solve(assumptions=assumption_sets[0])  # warm-up
-        start = time.perf_counter()
-        before = session.solver.stats.propagations
-        for assumptions in assumption_sets:
-            answer = session.solve(assumptions=assumptions)
-            assert answer is True
-        elapsed = time.perf_counter() - start
-        best = max(best, (session.solver.stats.propagations - before) / elapsed)
-    return best
-
-
-def _session_search_rate(backend, trace_dir=None):
-    """Conflict-heavy search rate through SolveSession, optionally traced.
-
-    With ``trace_dir`` set every repeat records a real trace at the default
-    sampling stride — conflict events, restart events, solve markers — so
-    this measures the full tracing-ON cost, serialisation included.
-    """
-    best = 0.0
-    for repeat in range(REPEATS):
-        tracing = (
-            trace_to(trace_dir / f"search-{backend}-{repeat}.trace.jsonl")
-            if trace_dir is not None
-            else nullcontext()
-        )
-        propagations = 0
-        start = time.perf_counter()
-        with tracing:
-            for clauses in search_instances():
-                session = SolveSession(backend)
-                session.solver.add_clauses(clauses)
-                session.solve(conflict_limit=SEARCH_CONFLICTS)
-                propagations += session.solver.stats.propagations
-        elapsed = time.perf_counter() - start
-        best = max(best, propagations / elapsed)
-    return best
+from repro.sat.session import solver_backends
 
 
 def test_backends_registered():
@@ -209,90 +27,30 @@ def test_backends_registered():
     assert "cdcl" in names and "cdcl-arena" in names
 
 
-def test_bcp_propagation_throughput_bar():
-    rates = {backend: _bcp_rate(backend) for backend in ("cdcl", "cdcl-arena")}
-    ratio = rates["cdcl-arena"] / rates["cdcl"]
-    print()
-    print(f"BCP cascade ({BCP_GATES} gates x {BCP_QUERIES} assumption queries):")
-    for backend, rate in rates.items():
-        print(f"  {backend:10s} : {rate:12,.0f} propagations/s")
-    print(f"  ratio      : {ratio:.2f}x  (bar: >= {BCP_RATIO_BAR:.1f}x)")
-    assert ratio >= BCP_RATIO_BAR, (
-        f"cdcl-arena sustained only {ratio:.2f}x the reference backend's "
-        f"propagation rate on the BCP cascade (required >= {BCP_RATIO_BAR:.1f}x)"
-    )
+def test_bcp_propagation_throughput_bar(perf_run):
+    """cdcl-arena >= 1.5x reference propagation rate on the BCP cascade."""
+    result = perf_run("solver.bcp_ratio")
+    assert result.metrics["arena_rate"] > result.metrics["cdcl_rate"]
 
 
-def test_search_throughput_and_answer_identity():
-    answers = {}
-    rates = {
-        backend: _search_rate(backend, answers)
-        for backend in ("cdcl", "cdcl-arena")
-    }
-    # Definite answers (True/False) must be identical; a conflict-limited
-    # None may legitimately differ between backends, but not on this corpus
-    # with this budget.
-    assert answers["cdcl"] == answers["cdcl-arena"], (
-        "solver backends disagreed on the search corpus: "
-        f"{answers['cdcl']} vs {answers['cdcl-arena']}"
-    )
-    ratio = rates["cdcl-arena"] / rates["cdcl"]
-    print()
-    print(f"search ({SEARCH_INSTANCES} random 3-SAT + pigeonhole, "
-          f"{SEARCH_CONFLICTS} conflict budget):")
-    for backend, rate in rates.items():
-        print(f"  {backend:10s} : {rate:12,.0f} propagations/s")
-    print(f"  ratio      : {ratio:.2f}x  (bar: >= {SEARCH_RATIO_BAR:.1f}x)")
-    assert ratio >= SEARCH_RATIO_BAR, (
-        f"cdcl-arena sustained only {ratio:.2f}x the reference backend on "
-        f"the search workload (required >= {SEARCH_RATIO_BAR:.1f}x)"
-    )
+def test_search_throughput_and_answer_identity_bar(perf_run):
+    """>= 1.2x end-to-end on search, with identical SAT/UNSAT answers.
 
-
-def test_trace_off_overhead_bar():
-    """With no active tracer the session+hooks path costs <= 5% on BCP.
-
-    Measured as interleaved raw/session pairs; the gate is the *best* pair,
-    because shared-runner noise (frequency scaling, neighbours) is one-sided
-    and transient while a real hook-in-the-hot-loop regression would slow
-    every single pair.
+    The answer-identity check runs inside the registered bench (a
+    disagreement raises before any rate is recorded).
     """
-    pairs = [
-        (_bcp_rate("cdcl-arena", repeats=1),
-         _session_bcp_rate("cdcl-arena", repeats=1))
-        for _ in range(REPEATS)
-    ]
-    raw, off = max(pairs, key=lambda pair: pair[1] / pair[0])
-    slowdown = max(0.0, 1.0 - off / raw)
-    print()
-    print("tracing OFF (session+hooks vs raw solver, BCP cascade, best pair):")
-    print(f"  raw solver : {raw:12,.0f} propagations/s")
-    print(f"  session    : {off:12,.0f} propagations/s")
-    print(f"  slowdown   : {slowdown:.1%}  (bar: <= {TRACE_OFF_MAX_SLOWDOWN:.0%})")
-    assert slowdown <= TRACE_OFF_MAX_SLOWDOWN, (
-        f"tracing-off hooks cost {slowdown:.1%} of BCP throughput in every "
-        f"measured pair (allowed <= {TRACE_OFF_MAX_SLOWDOWN:.0%})"
-    )
+    perf_run("solver.search_ratio")
 
 
-def test_trace_on_overhead_bar(tmp_path):
-    """Tracing ON at the default stride keeps >= 75% of search throughput."""
-    untraced = _session_search_rate("cdcl-arena")
-    traced = _session_search_rate("cdcl-arena", trace_dir=tmp_path)
-    slowdown = max(0.0, 1.0 - traced / untraced)
-    print()
-    print("tracing ON (default stride, conflict-heavy search):")
-    print(f"  untraced   : {untraced:12,.0f} propagations/s")
-    print(f"  traced     : {traced:12,.0f} propagations/s")
-    print(f"  slowdown   : {slowdown:.1%}  (bar: <= {TRACE_ON_MAX_SLOWDOWN:.0%})")
-    # The traces must also be real: every file parses and carries sampled
-    # conflict events.
-    files = sorted(tmp_path.glob("*.trace.jsonl"))
-    assert files, "tracing-on run produced no trace files"
-    for path in files:
-        kinds = {event.get("kind") for event in read_trace_events(path)}
-        assert "meta" in kinds and "solve-end" in kinds and "conflict" in kinds
-    assert slowdown <= TRACE_ON_MAX_SLOWDOWN, (
-        f"tracing at the default stride cost {slowdown:.1%} of search "
-        f"throughput (allowed <= {TRACE_ON_MAX_SLOWDOWN:.0%})"
-    )
+def test_trace_off_overhead_bar(perf_run):
+    """With no active tracer the session+hooks path costs <= 5% on BCP."""
+    perf_run("solver.trace_off_overhead")
+
+
+def test_trace_on_overhead_bar(perf_run):
+    """Tracing ON at the default stride keeps >= 75% of search throughput.
+
+    The registered bench also validates the recorded traces (they must
+    parse and carry meta / solve-end / conflict events).
+    """
+    perf_run("solver.trace_on_overhead")

@@ -2,7 +2,8 @@
 
 The quick configuration locks one Synthezza-like benchmark per size group and
 runs all three NEOS-mode stand-ins; ``--benchmark-full-eval`` sweeps every
-benchmark of the paper's table.
+benchmark of the paper's table.  ``REPRO_BENCH_SMOKE=1`` shrinks the
+per-attack budget via the smoke-aware ``attack_time_limit`` fixture.
 """
 
 from repro.benchmarks_data.synthezza import synthezza_names

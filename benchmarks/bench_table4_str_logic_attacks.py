@@ -1,4 +1,8 @@
-"""Benchmark / regeneration of Table IV (Cute-Lock-Str vs BBO/INT/KC2/RANE)."""
+"""Benchmark / regeneration of Table IV (Cute-Lock-Str vs BBO/INT/KC2/RANE).
+
+``REPRO_BENCH_SMOKE=1`` shrinks the per-attack budget via the smoke-aware
+``attack_time_limit`` fixture.
+"""
 
 from repro.experiments.table4 import run_table4
 

@@ -1,4 +1,8 @@
-"""Benchmark / regeneration of Table V (DANA NMI + FALL on Cute-Lock-Str)."""
+"""Benchmark / regeneration of Table V (DANA NMI + FALL on Cute-Lock-Str).
+
+The quick configuration is already the smoke floor (no attack time budget
+to shrink), so ``REPRO_BENCH_SMOKE`` changes nothing here by design.
+"""
 
 from repro.experiments.table5 import run_table5
 

@@ -5,6 +5,12 @@ DESIGN.md's per-experiment index).  The benchmarks run the *quick*
 configurations of the experiment drivers so the whole suite finishes in
 minutes on a laptop; pass ``--benchmark-full-eval`` to sweep the complete
 benchmark lists from the paper (slow).
+
+Acceptance bars live in the :mod:`repro.perf` registry (workload params,
+smoke scaling and thresholds as data); the ``test_*_bar`` functions in
+these modules are thin wrappers over :func:`repro.perf.run_registered` via
+the ``perf_run`` fixture.  ``REPRO_BENCH_SMOKE=1`` (the CI smoke job sets
+it) selects every bench's smoke workload and relaxed bars.
 """
 
 import os
@@ -23,6 +29,8 @@ if str(_SRC) not in sys.path:
 # tile — bench bars are the guard for that.
 os.environ.setdefault("REPRO_CHECK_KERNELS", "0")
 os.environ.setdefault("REPRO_CHECK_SOLVER", "0")
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
 
 
 def pytest_addoption(parser):
@@ -43,4 +51,28 @@ def full_eval(request):
 @pytest.fixture(scope="session")
 def attack_time_limit(full_eval):
     """Per-attack wall-clock budget used by the attack benchmarks."""
-    return 60.0 if full_eval else 10.0
+    if full_eval:
+        return 60.0
+    return 5.0 if SMOKE else 10.0
+
+
+@pytest.fixture(scope="session")
+def perf_smoke():
+    """True when the reduced smoke workloads were requested via env."""
+    return SMOKE
+
+
+@pytest.fixture(scope="session")
+def perf_run(perf_smoke):
+    """Run a registered perf bench and fail the test if any bar fails."""
+    from repro.perf import load_suites, render_run, run_registered
+
+    load_suites()
+
+    def run(name):
+        result = run_registered(name, smoke=perf_smoke)
+        print("\n" + render_run(result))
+        assert not result.failed_bars, result.failure_text()
+        return result
+
+    return run

@@ -1,0 +1,109 @@
+"""Continuous performance observability (see ``PERF_FORMAT.md``).
+
+``repro.perf`` is the layer above :mod:`repro.trace`: where a trace answers
+*where time goes inside one run*, this package records *how performance
+moves across commits*.
+
+* :mod:`repro.perf.registry` — the ``@perf_benchmark`` registry every
+  ``benchmarks/bench_*.py`` script is built on; acceptance bars are
+  declarative :class:`Bar` data, not inline asserts.
+* :mod:`repro.perf.harness` — the shared measurement core: warmup, repeats,
+  min/median/IQR series on monotonic clocks, plus the environment
+  fingerprint (git sha, python, CPU count, ``REPRO_*`` flags).
+* :mod:`repro.perf.history` — the append-only JSONL perf store (torn-line
+  tolerant via :mod:`repro.jsonutil`) with latest-per-``(bench, sha)``
+  indexing and the ``BENCH_<suite>.json`` snapshot emitter.
+* :mod:`repro.perf.compare` — noise-aware regression verdicts
+  (regressed / improved / noisy / missing) and the registry-driven gate.
+
+CLI: ``repro perf {run,list,history,compare,gate}`` (exit 0 clean,
+1 regression/gate failure, 2 error).
+"""
+
+from repro.perf.compare import (
+    DEFAULT_THRESHOLD,
+    IMPROVED,
+    MISSING,
+    NEW,
+    NOISY,
+    REGRESSED,
+    VERDICTS,
+    compare_records,
+    evaluate_gate,
+    primary_stats,
+    render_compare,
+    render_gate,
+)
+from repro.perf.harness import (
+    Harness,
+    SeriesStats,
+    environment_fingerprint,
+    git_revision,
+    quantile,
+    series_stats,
+)
+from repro.perf.history import (
+    PERF_HISTORY_NAME,
+    PERF_SCHEMA_VERSION,
+    PerfHistory,
+    snapshot_payload,
+    write_snapshots,
+)
+from repro.perf.registry import (
+    Bar,
+    BarResult,
+    PerfBenchmark,
+    PerfRunResult,
+    all_benchmarks,
+    evaluate_bars,
+    get_benchmark,
+    load_suites,
+    perf_benchmark,
+    register,
+    render_run,
+    run_registered,
+    select_benchmarks,
+    suite_names,
+    unregister,
+)
+
+__all__ = [
+    "Bar",
+    "BarResult",
+    "DEFAULT_THRESHOLD",
+    "Harness",
+    "IMPROVED",
+    "MISSING",
+    "NEW",
+    "NOISY",
+    "PERF_HISTORY_NAME",
+    "PERF_SCHEMA_VERSION",
+    "PerfBenchmark",
+    "PerfHistory",
+    "PerfRunResult",
+    "REGRESSED",
+    "SeriesStats",
+    "VERDICTS",
+    "all_benchmarks",
+    "compare_records",
+    "environment_fingerprint",
+    "evaluate_bars",
+    "evaluate_gate",
+    "get_benchmark",
+    "git_revision",
+    "load_suites",
+    "perf_benchmark",
+    "primary_stats",
+    "quantile",
+    "register",
+    "render_compare",
+    "render_gate",
+    "render_run",
+    "run_registered",
+    "select_benchmarks",
+    "series_stats",
+    "snapshot_payload",
+    "suite_names",
+    "unregister",
+    "write_snapshots",
+]

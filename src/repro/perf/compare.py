@@ -1,0 +1,309 @@
+"""Noise-aware regression detection between two sets of history records.
+
+The comparator answers the only question that matters between two commits:
+*did anything get slower beyond measurement noise?*  Each bench's primary
+timing series (median + interquartile range over its repeats) is compared
+with two tolerance tests, and a bench is only called **regressed** (or
+**improved**) when both say the change is real:
+
+* **relative threshold** — the medians must differ by more than
+  ``threshold`` (default 10%), so micro-jitter on sub-millisecond series
+  never fires;
+* **IQR overlap** — the two runs' interquartile ranges must be disjoint;
+  overlapping noise bands mean the distributions are indistinguishable,
+  however far apart the medians drifted on this particular run.
+
+Everything else is **noisy** (present on both sides, no real change) or
+**missing** (recorded in the baseline but absent from the candidate — a
+bench that silently stopped running is itself a finding).  Candidate-only
+benches report as **new**.
+
+``repro perf gate`` lives here too: it re-evaluates the *registry's*
+declared bars (not the bars stored when the record was written) against
+recorded metrics, so tightening a bar in the registry immediately re-gates
+old measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.perf.harness import SeriesStats
+from repro.perf.registry import (
+    BarResult,
+    PerfBenchmark,
+    evaluate_bars,
+    select_benchmarks,
+)
+from repro.trace.analysis import ascii_bar
+
+Record = Mapping[str, object]
+
+#: Verdicts, in render/severity order.
+REGRESSED = "regressed"
+IMPROVED = "improved"
+NOISY = "noisy"
+MISSING = "missing"
+NEW = "new"
+VERDICTS = (REGRESSED, IMPROVED, NOISY, MISSING, NEW)
+
+#: Default relative-change threshold below which drift is always noise.
+DEFAULT_THRESHOLD = 0.10
+
+
+def primary_stats(record: Record) -> Optional[SeriesStats]:
+    """The series regression detection keys on, from one history record.
+
+    Falls back to a zero-width distribution around ``elapsed_seconds`` when
+    the record carries no usable primary series, so single-shot benches
+    still compare (on the relative threshold alone).
+    """
+    series = record.get("series")
+    primary = record.get("primary")
+    if isinstance(series, Mapping) and isinstance(primary, str):
+        stats = series.get(primary)
+        if isinstance(stats, Mapping):
+            return SeriesStats.from_dict(stats)
+    elapsed = record.get("elapsed_seconds")
+    if isinstance(elapsed, (int, float)):
+        value = float(elapsed)
+        return SeriesStats(repeats=1, seconds_min=value, q1=value,
+                           median=value, q3=value)
+    return None
+
+
+@dataclass(frozen=True)
+class CompareRow:  # repro-lint: disable=R005 (one-way CLI/CI payload, never read back)
+    """One bench's verdict between baseline and candidate."""
+
+    bench: str
+    verdict: str
+    baseline_median: Optional[float]
+    candidate_median: Optional[float]
+    relative_change: Optional[float]
+    iqr_overlap: Optional[bool]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "bench": self.bench,
+            "verdict": self.verdict,
+            "baseline_median": self.baseline_median,
+            "candidate_median": self.candidate_median,
+            "relative_change": self.relative_change,
+            "iqr_overlap": self.iqr_overlap,
+        }
+
+
+def _verdict(
+    base: SeriesStats, cand: SeriesStats, *, threshold: float
+) -> Tuple[str, float, bool]:
+    """(verdict, relative change, IQR overlap) for one bench pair."""
+    overlap = cand.q1 <= base.q3 and base.q1 <= cand.q3
+    if base.median <= 0.0:
+        # Degenerate baseline timing: a zero-median series cannot scale a
+        # relative change, so only a clearly non-zero candidate outside the
+        # overlap band reads as a change at all.
+        if cand.median <= 0.0 or overlap:
+            return NOISY, 0.0, overlap
+        return REGRESSED, float("inf"), overlap
+    relative = (cand.median - base.median) / base.median
+    if abs(relative) <= threshold or overlap:
+        return NOISY, relative, overlap
+    return (REGRESSED if relative > 0 else IMPROVED), relative, overlap
+
+
+def compare_records(
+    baseline: Mapping[str, Record],
+    candidate: Mapping[str, Record],
+    *,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> Dict[str, object]:
+    """Compare two ``{bench: record}`` maps (latest-per-bench indexes)."""
+    if threshold < 0:
+        raise ValueError(f"threshold must be >= 0, got {threshold}")
+    rows: List[CompareRow] = []
+    for bench in sorted(set(baseline) | set(candidate)):
+        base_record = baseline.get(bench)
+        cand_record = candidate.get(bench)
+        if base_record is None or cand_record is None:
+            base_stats = primary_stats(base_record) if base_record else None
+            cand_stats = primary_stats(cand_record) if cand_record else None
+            rows.append(
+                CompareRow(
+                    bench=bench,
+                    verdict=MISSING if cand_record is None else NEW,
+                    baseline_median=base_stats.median if base_stats else None,
+                    candidate_median=cand_stats.median if cand_stats else None,
+                    relative_change=None,
+                    iqr_overlap=None,
+                )
+            )
+            continue
+        base_stats = primary_stats(base_record)
+        cand_stats = primary_stats(cand_record)
+        if base_stats is None or cand_stats is None:
+            rows.append(
+                CompareRow(
+                    bench=bench,
+                    verdict=NOISY,
+                    baseline_median=base_stats.median if base_stats else None,
+                    candidate_median=cand_stats.median if cand_stats else None,
+                    relative_change=None,
+                    iqr_overlap=None,
+                )
+            )
+            continue
+        verdict, relative, overlap = _verdict(
+            base_stats, cand_stats, threshold=threshold
+        )
+        rows.append(
+            CompareRow(
+                bench=bench,
+                verdict=verdict,
+                baseline_median=base_stats.median,
+                candidate_median=cand_stats.median,
+                relative_change=relative,
+                iqr_overlap=overlap,
+            )
+        )
+    counts = {verdict: 0 for verdict in VERDICTS}
+    for row in rows:
+        counts[row.verdict] += 1
+    return {
+        "threshold": threshold,
+        "rows": [row.to_dict() for row in rows],
+        "counts": counts,
+        "ok": counts[REGRESSED] == 0 and counts[MISSING] == 0,
+    }
+
+
+def render_compare(comparison: Mapping[str, object], *, width: int = 16) -> str:
+    """Ascii comparison table in the house style of ``trace/analysis.py``."""
+    rows: Sequence[Mapping[str, object]] = comparison["rows"]  # type: ignore[assignment]
+    counts: Mapping[str, int] = comparison["counts"]  # type: ignore[assignment]
+    threshold = float(comparison.get("threshold", DEFAULT_THRESHOLD))  # type: ignore[arg-type]
+    lines = [f"threshold: {threshold:.0%} relative change, IQR-overlap tolerated"]
+    if not rows:
+        lines.append("(no benches on either side)")
+        return "\n".join(lines)
+    name_width = max(len("bench"), max(len(str(row["bench"])) for row in rows))
+    lines.append(
+        f"{'bench':<{name_width}}  {'base ms':>10}  {'cand ms':>10}  "
+        f"{'change':>8}  {'verdict':>9}  bar"
+    )
+
+    def _ms(value: object) -> str:
+        return f"{float(value) * 1e3:,.3f}" if isinstance(value, (int, float)) else "-"
+
+    def _change(value: object) -> str:
+        if not isinstance(value, (int, float)):
+            return "-"
+        if value == float("inf"):
+            return "+inf"
+        return f"{value:+.1%}"
+
+    for row in rows:
+        relative = row.get("relative_change")
+        magnitude = (
+            min(1.0, abs(float(relative))) if isinstance(relative, (int, float))
+            and relative != float("inf") else 0.0
+        )
+        lines.append(
+            f"{str(row['bench']):<{name_width}}  {_ms(row['baseline_median']):>10}  "
+            f"{_ms(row['candidate_median']):>10}  {_change(relative):>8}  "
+            f"{str(row['verdict']):>9}  {ascii_bar(magnitude, width)}"
+        )
+    lines.append(
+        "verdicts: "
+        + " ".join(f"{verdict}={counts.get(verdict, 0)}" for verdict in VERDICTS)
+    )
+    lines.append("result: " + ("clean" if comparison.get("ok") else "REGRESSION"))
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------- gate
+@dataclass(frozen=True)
+class GateEntry:  # repro-lint: disable=R005 (one-way CLI/CI payload, never read back)
+    """One bench's gate outcome: recorded metrics vs the registry's bars."""
+
+    bench: str
+    status: str  # "pass" | "fail" | "missing"
+    bar_results: Tuple[BarResult, ...]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "bench": self.bench,
+            "status": self.status,
+            "bars": [result.to_dict() for result in self.bar_results],
+        }
+
+
+def evaluate_gate(
+    latest: Mapping[str, Record],
+    *,
+    smoke: bool = False,
+    benchmarks: Optional[Sequence[PerfBenchmark]] = None,
+) -> Dict[str, object]:
+    """Check every bar-bearing registered bench against recorded metrics.
+
+    ``latest`` is a ``{bench: record}`` index (typically
+    ``PerfHistory.latest(smoke=...)``).  A bar-bearing bench with no record
+    gates as ``missing`` — a bench that silently stopped running must fail
+    the gate, not pass it by absence.  Benches without bars are recorded
+    trajectory only and never gate.
+    """
+    selected = list(benchmarks) if benchmarks is not None else select_benchmarks()
+    entries: List[GateEntry] = []
+    for bench in selected:
+        if not bench.bars:
+            continue
+        record = latest.get(bench.name)
+        if record is None:
+            entries.append(GateEntry(bench=bench.name, status="missing",
+                                     bar_results=()))
+            continue
+        metrics = record.get("metrics")
+        metrics = metrics if isinstance(metrics, Mapping) else {}
+        results = evaluate_bars(bench.bars, metrics, smoke=smoke)
+        status = "pass" if all(result.passed for result in results) else "fail"
+        entries.append(GateEntry(bench=bench.name, status=status,
+                                 bar_results=tuple(results)))
+    failed = [entry for entry in entries if entry.status != "pass"]
+    return {
+        "smoke": smoke,
+        "entries": [entry.to_dict() for entry in entries],
+        "gated": len(entries),
+        "failed": len(failed),
+        "ok": not failed,
+    }
+
+
+def render_gate(gate: Mapping[str, object]) -> str:
+    """Human-readable gate report: one line per bar, grouped by bench."""
+    entries: Sequence[Mapping[str, object]] = gate["entries"]  # type: ignore[assignment]
+    mode = "smoke" if gate.get("smoke") else "full"
+    lines = [f"perf gate ({mode} bars): {gate.get('gated', 0)} bench(es)"]
+    if not entries:
+        lines.append("(no bar-bearing benches selected)")
+    for entry in entries:
+        status = str(entry["status"]).upper()
+        lines.append(f"  {entry['bench']}: {status}")
+        for bar in entry.get("bars", ()):  # type: ignore[union-attr]
+            shown = (
+                f"{bar['value']:g}" if isinstance(bar.get("value"), (int, float))
+                else "missing"
+            )
+            verdict = "PASS" if bar.get("passed") else "FAIL"
+            lines.append(
+                f"    {bar['metric']} {bar['op']} {float(bar['limit']):g} : "
+                f"{shown}  {verdict}"
+            )
+        if entry["status"] == "missing":
+            lines.append("    (no recorded run for this mode; run "
+                         "`repro perf run` first)")
+    lines.append(
+        "result: "
+        + ("clean" if gate.get("ok") else f"{gate.get('failed')} gating failure(s)")
+    )
+    return "\n".join(lines)

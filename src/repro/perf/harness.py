@@ -1,0 +1,211 @@
+"""Shared measurement core for registered performance benchmarks.
+
+Every registered benchmark (see :mod:`repro.perf.registry`) measures through
+one :class:`Harness`, so the warmup/repeat/statistics discipline — and the
+copy-pasted ``while elapsed < min_seconds`` loops the old ``benchmarks/``
+scripts each hand-rolled — lives in exactly one place.  All timing uses
+``time.perf_counter`` (monotonic): wall clocks never enter a measurement,
+which is what keeps this module clean under ``repro check lint`` R001.
+
+The harness records named **series** — lists of per-repeat elapsed seconds
+summarised as min/quartiles/IQR — alongside whatever scalar metrics the
+workload derives (rates, ratios, slowdowns).  Series are what the
+noise-aware comparator (:mod:`repro.perf.compare`) consumes; metrics are
+what acceptance bars (:class:`repro.perf.registry.Bar`) are checked
+against.
+
+:func:`environment_fingerprint` stamps each run with the context needed to
+interpret it later: git sha, python version, platform, CPU count and the
+``REPRO_*`` switches that change what the benchmarks measure.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import subprocess
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+#: Environment switches that change what a benchmark measures; recorded in
+#: every fingerprint so history records from different configurations are
+#: never silently compared as equals.
+_FINGERPRINT_FLAGS = (
+    "REPRO_BENCH_SMOKE",
+    "REPRO_CHECK_KERNELS",
+    "REPRO_CHECK_SOLVER",
+)
+
+
+@dataclass(frozen=True)
+class SeriesStats:
+    """Order statistics over one series of per-repeat elapsed seconds."""
+
+    repeats: int
+    seconds_min: float
+    q1: float
+    median: float
+    q3: float
+
+    @property
+    def iqr(self) -> float:
+        """Interquartile range — the noise band compare verdicts honour."""
+        return self.q3 - self.q1
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "repeats": self.repeats,
+            "min": self.seconds_min,
+            "q1": self.q1,
+            "median": self.median,
+            "q3": self.q3,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "SeriesStats":
+        return cls(
+            repeats=int(payload.get("repeats", 1)),  # type: ignore[arg-type]
+            seconds_min=float(payload.get("min", 0.0)),  # type: ignore[arg-type]
+            q1=float(payload.get("q1", 0.0)),  # type: ignore[arg-type]
+            median=float(payload.get("median", 0.0)),  # type: ignore[arg-type]
+            q3=float(payload.get("q3", 0.0)),  # type: ignore[arg-type]
+        )
+
+
+def quantile(samples: Sequence[float], q: float) -> float:
+    """Linear-interpolation quantile of an unsorted, non-empty sample list."""
+    if not samples:
+        raise ValueError("quantile of an empty sample list")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile fraction must be in [0, 1], got {q}")
+    ordered = sorted(samples)
+    position = q * (len(ordered) - 1)
+    low = int(position)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = position - low
+    return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+
+def series_stats(samples: Sequence[float]) -> SeriesStats:
+    """Summarise per-repeat seconds into :class:`SeriesStats`."""
+    return SeriesStats(
+        repeats=len(samples),
+        seconds_min=min(samples),
+        q1=quantile(samples, 0.25),
+        median=quantile(samples, 0.5),
+        q3=quantile(samples, 0.75),
+    )
+
+
+class Harness:
+    """Measurement context handed to every registered workload function.
+
+    One harness instance accumulates the named series a workload records;
+    :func:`repro.perf.registry.run_registered` folds them into the run
+    result.  ``smoke`` mirrors the run mode so workloads can branch on it
+    without re-reading the environment.
+    """
+
+    def __init__(self, *, smoke: bool = False) -> None:
+        self.smoke = bool(smoke)
+        self.series: Dict[str, SeriesStats] = {}
+
+    # ------------------------------------------------------------- recording
+    def record_series(self, name: str, samples: Sequence[float]) -> SeriesStats:
+        """Store raw per-repeat seconds under ``name`` and return the stats."""
+        if not samples:
+            raise ValueError(f"series {name!r} has no samples")
+        stats = series_stats([float(sample) for sample in samples])
+        self.series[name] = stats
+        return stats
+
+    def time_series(
+        self,
+        name: str,
+        fn: Callable[[], object],
+        *,
+        repeats: int = 5,
+        warmup: int = 1,
+    ) -> SeriesStats:
+        """Time ``fn`` ``repeats`` times (after ``warmup`` unrecorded calls)."""
+        if repeats < 1:
+            raise ValueError(f"repeats must be >= 1, got {repeats}")
+        for _ in range(warmup):
+            fn()
+        samples: List[float] = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn()
+            samples.append(time.perf_counter() - start)
+        return self.record_series(name, samples)
+
+    # --------------------------------------------------------------- timing
+    @staticmethod
+    def timed(fn: Callable[[], object]) -> "tuple[object, float]":
+        """Run ``fn`` once, returning ``(result, elapsed_seconds)``."""
+        start = time.perf_counter()
+        result = fn()
+        return result, time.perf_counter() - start
+
+    @staticmethod
+    def sustained_rate(
+        fn: Callable[[], object],
+        *,
+        units: float,
+        repeats: int = 3,
+        min_seconds: float = 0.05,
+    ) -> float:
+        """Best-of-``repeats`` sustained rate of ``fn`` in ``units`` per call.
+
+        Each repeat loops ``fn`` until at least ``min_seconds`` of measured
+        time has accumulated, then computes ``units * rounds / elapsed``;
+        the best repeat wins, shrugging off one-sided scheduler noise the
+        same way the old per-script best-of loops did.
+        """
+        best = 0.0
+        for _ in range(max(1, repeats)):
+            rounds, elapsed = 0, 0.0
+            while elapsed < min_seconds:
+                start = time.perf_counter()
+                fn()
+                elapsed += time.perf_counter() - start
+                rounds += 1
+            best = max(best, units * rounds / elapsed)
+        return best
+
+
+def git_revision(cwd: Optional[str] = None) -> Optional[str]:
+    """The current git commit sha, or None outside a repo / without git."""
+    try:
+        probe = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=10.0,
+            check=False,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = probe.stdout.strip()
+    return sha if probe.returncode == 0 and sha else None
+
+
+def environment_fingerprint(cwd: Optional[str] = None) -> Dict[str, object]:
+    """Context stamped onto every history record.
+
+    Stable within a process and environment: two calls in the same process
+    return equal fingerprints, which is what makes ``(bench, sha)`` a
+    meaningful history index.
+    """
+    return {
+        "git_sha": git_revision(cwd),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "flags": {
+            name: os.environ.get(name) for name in _FINGERPRINT_FLAGS
+        },
+    }

@@ -1,0 +1,231 @@
+"""Append-only JSONL perf-history store and the ``BENCH_<suite>.json`` snapshots.
+
+One :class:`PerfHistory` owns one ``perf-history.jsonl`` file: one JSON
+record per benchmark execution, appended with the same flush+fsync
+durability as the campaign result store and read back through
+:func:`repro.jsonutil.read_jsonl_objects` — so a torn final line from a
+killed run is tolerated silently, mid-file corruption warns with file:line,
+and records never vanish without a trace.  The record schema is versioned
+(``PERF_SCHEMA_VERSION``) and documented in ``PERF_FORMAT.md``.
+
+Indexing follows the trajectory questions the store exists to answer:
+*latest record per bench* (what does this machine currently measure?) and
+*latest per (bench, sha)* (how did commit X measure?), which is what
+``repro perf compare --history`` resolves shas against.
+
+:func:`write_snapshots` condenses the latest records into one
+``BENCH_<suite>.json`` per suite at the repo root — a small, committable
+marker of the perf trajectory that survives even when the full history file
+stays machine-local.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import warnings
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.jsonutil import jsonable, read_jsonl_objects
+
+#: Bump when the history-record fields change incompatibly; readers skip
+#: newer-schema records with a warning instead of misreading them.
+PERF_SCHEMA_VERSION = 1
+
+#: Default history file name (one per machine/checkout, append-only).
+PERF_HISTORY_NAME = "perf-history.jsonl"
+
+#: Snapshot files are ``BENCH_<SUITE>.json`` at the chosen root.
+SNAPSHOT_PREFIX = "BENCH_"
+
+Record = Dict[str, object]
+
+
+class PerfHistory:
+    """Append-only JSONL store of benchmark run records."""
+
+    def __init__(self, path: Union[str, Path] = PERF_HISTORY_NAME) -> None:
+        self.path = Path(path)
+
+    # -------------------------------------------------------------- writing
+    def append(self, record: Mapping[str, object]) -> Record:
+        """Append one run record, stamping schema version and wall time.
+
+        ``recorded_at`` is deliberately real wall clock (not monotonic): it
+        is provenance for humans reading the trajectory and orders records
+        across process restarts, never a measurement.
+        """
+        payload: Record = dict(jsonable(record))  # type: ignore[arg-type]
+        payload.setdefault("schema", PERF_SCHEMA_VERSION)
+        payload.setdefault("recorded_at", time.time())
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(payload, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        return payload
+
+    # -------------------------------------------------------------- reading
+    def records(self) -> List[Record]:
+        """Every readable record, oldest first (tolerating tears/corruption)."""
+        if not self.path.exists():
+            return []
+        rows = read_jsonl_objects(
+            self.path, label="perf record", file_label="perf history"
+        )
+        records: List[Record] = []
+        for row in rows:
+            schema = row.get("schema")
+            if isinstance(schema, (int, float)) and schema > PERF_SCHEMA_VERSION:
+                warnings.warn(
+                    f"{self.path}: skipping perf record with schema {schema} "
+                    f"(this reader understands <= {PERF_SCHEMA_VERSION})",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                continue
+            if isinstance(row.get("bench"), str):
+                records.append(row)
+        return records
+
+    @staticmethod
+    def _sha(record: Mapping[str, object]) -> Optional[str]:
+        env = record.get("env")
+        if isinstance(env, Mapping):
+            sha = env.get("git_sha")
+            return sha if isinstance(sha, str) else None
+        return None
+
+    def latest(self, *, smoke: Optional[bool] = None) -> Dict[str, Record]:
+        """Latest record per bench (optionally restricted to one mode).
+
+        File order is append order, so "latest" is simply the last match —
+        no wall-clock comparison is needed.
+        """
+        index: Dict[str, Record] = {}
+        for record in self.records():
+            if smoke is not None and bool(record.get("smoke")) is not smoke:
+                continue
+            index[str(record["bench"])] = record
+        return index
+
+    def latest_by_sha(
+        self, *, smoke: Optional[bool] = None
+    ) -> Dict[Tuple[str, Optional[str]], Record]:
+        """Latest record per ``(bench, git_sha)`` — the trajectory index."""
+        index: Dict[Tuple[str, Optional[str]], Record] = {}
+        for record in self.records():
+            if smoke is not None and bool(record.get("smoke")) is not smoke:
+                continue
+            index[(str(record["bench"]), self._sha(record))] = record
+        return index
+
+    def shas(self) -> List[str]:
+        """Distinct git shas in first-appearance (append) order."""
+        seen: List[str] = []
+        for record in self.records():
+            sha = self._sha(record)
+            if sha is not None and sha not in seen:
+                seen.append(sha)
+        return seen
+
+    def for_sha(
+        self, sha: str, *, smoke: Optional[bool] = None
+    ) -> Dict[str, Record]:
+        """Latest record per bench among records of one commit.
+
+        ``sha`` may be a unique prefix (7+ chars work like git's own
+        abbreviations); an ambiguous prefix raises ``ValueError``.
+        """
+        matches = [
+            full for full in self.shas()
+            if full == sha or full.startswith(sha)
+        ]
+        if not matches:
+            raise ValueError(
+                f"no perf records for sha {sha!r} in {self.path} "
+                f"(known: {', '.join(full[:12] for full in self.shas()) or 'none'})"
+            )
+        if len(matches) > 1:
+            raise ValueError(
+                f"sha prefix {sha!r} is ambiguous in {self.path}: "
+                + ", ".join(full[:12] for full in matches)
+            )
+        full = matches[0]
+        index: Dict[str, Record] = {}
+        for record in self.records():
+            if self._sha(record) != full:
+                continue
+            if smoke is not None and bool(record.get("smoke")) is not smoke:
+                continue
+            index[str(record["bench"])] = record
+        return index
+
+
+# ------------------------------------------------------------------ snapshots
+def snapshot_payload(
+    latest: Mapping[str, Record], suite: str
+) -> Dict[str, object]:
+    """Condense one suite's latest records into its snapshot document."""
+    benches: Dict[str, object] = {}
+    for name in sorted(latest):
+        record = latest[name]
+        if record.get("suite") != suite:
+            continue
+        env = record.get("env")
+        benches[name] = {
+            "metrics": record.get("metrics", {}),
+            "bars": record.get("bars", []),
+            "ok": record.get("ok"),
+            "smoke": record.get("smoke"),
+            "elapsed_seconds": record.get("elapsed_seconds"),
+            "recorded_at": record.get("recorded_at"),
+            "git_sha": env.get("git_sha") if isinstance(env, Mapping) else None,
+        }
+    return {
+        "schema": PERF_SCHEMA_VERSION,
+        "suite": suite,
+        "benches": benches,
+    }
+
+
+def write_snapshots(
+    history: Union[PerfHistory, Mapping[str, Record]],
+    root: Union[str, Path] = ".",
+    *,
+    suites: Sequence[str] = (),
+) -> List[Path]:
+    """Write one ``BENCH_<SUITE>.json`` per suite with recorded data.
+
+    ``history`` is a :class:`PerfHistory` (its unrestricted latest index is
+    used) or an already-built ``{bench: record}`` mapping.  Only suites that
+    actually have records get a file; passing ``suites`` restricts further.
+    Output is deterministic (sorted keys, stable indent) so re-running a
+    sweep with unchanged results rewrites byte-identical snapshots.
+    """
+    latest = history.latest() if isinstance(history, PerfHistory) else dict(history)
+    root = Path(root)
+    recorded_suites = sorted(
+        {
+            str(record.get("suite"))
+            for record in latest.values()
+            if isinstance(record.get("suite"), str)
+        }
+    )
+    wanted = [
+        suite for suite in recorded_suites if not suites or suite in suites
+    ]
+    written: List[Path] = []
+    for suite in wanted:
+        payload = snapshot_payload(latest, suite)
+        if not payload["benches"]:
+            continue
+        path = root / f"{SNAPSHOT_PREFIX}{suite.upper()}.json"
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        written.append(path)
+    return written

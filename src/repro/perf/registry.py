@@ -1,0 +1,392 @@
+"""The benchmark registry: every acceptance bar is data, not an assert.
+
+A registered benchmark is one :class:`PerfBenchmark`: a name
+(``<suite>.<bench>``), the workload function, its full-size parameters, the
+overrides applied under smoke mode, and its acceptance :class:`Bar` list.
+The old ``benchmarks/bench_*.py`` scripts each hard-coded their bar as an
+inline ``assert speedup >= 10.0`` and threw the measurement away; here the
+bar is declarative, ``repro perf gate`` re-checks it against recorded
+history, and the pytest wrappers in ``benchmarks/`` reduce to
+``run_registered(name) -> assert no failed bars``.
+
+Workload functions have the signature ``func(harness, params) -> metrics``:
+
+* ``harness`` — a :class:`repro.perf.harness.Harness`; record timing series
+  through it so the comparator gets real distributions;
+* ``params`` — the declared params with smoke overrides merged in;
+* ``metrics`` — a flat ``{name: number}`` dict; bars reference these names.
+
+Suites of registered benchmarks live in :mod:`repro.perf.suites`;
+:func:`load_suites` imports them all (idempotently) so CLI commands and
+tests see one consistent registry.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.perf.harness import Harness, SeriesStats, environment_fingerprint
+
+#: Comparison operators a bar may use (metric vs threshold).
+_BAR_OPS = (">=", "<=")
+
+
+@dataclass(frozen=True)
+class Bar:
+    """One declarative acceptance bar: ``metric op threshold``.
+
+    ``smoke_threshold`` (optional) relaxes the bar under smoke mode, the
+    way the old scripts did with ``5.0 if SMOKE else 10.0`` ternaries.
+    """
+
+    metric: str
+    op: str
+    threshold: float
+    smoke_threshold: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.op not in _BAR_OPS:
+            raise ValueError(f"bar op must be one of {_BAR_OPS}, got {self.op!r}")
+
+    def limit(self, *, smoke: bool = False) -> float:
+        """The threshold in force for the given mode."""
+        if smoke and self.smoke_threshold is not None:
+            return self.smoke_threshold
+        return self.threshold
+
+    def passes(self, value: float, *, smoke: bool = False) -> bool:
+        limit = self.limit(smoke=smoke)
+        return value >= limit if self.op == ">=" else value <= limit
+
+    def describe(self, *, smoke: bool = False) -> str:
+        return f"{self.metric} {self.op} {self.limit(smoke=smoke):g}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "metric": self.metric,
+            "op": self.op,
+            "threshold": self.threshold,
+            "smoke_threshold": self.smoke_threshold,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "Bar":
+        smoke = payload.get("smoke_threshold")
+        return cls(
+            metric=str(payload["metric"]),
+            op=str(payload["op"]),
+            threshold=float(payload["threshold"]),  # type: ignore[arg-type]
+            smoke_threshold=float(smoke) if smoke is not None else None,  # type: ignore[arg-type]
+        )
+
+
+@dataclass(frozen=True)
+class PerfBenchmark:  # repro-lint: disable=R005 (carries a function; CLI listing only)
+    """One registered benchmark: identity, workload, params and bars."""
+
+    name: str
+    suite: str
+    func: Callable[[Harness, Dict[str, object]], Mapping[str, float]]
+    description: str = ""
+    params: Mapping[str, object] = field(default_factory=dict)
+    smoke_params: Mapping[str, object] = field(default_factory=dict)
+    bars: Tuple[Bar, ...] = ()
+    #: Name of the series regression comparison keys on (seconds, lower is
+    #: better); None falls back to the run's total elapsed seconds.
+    primary: Optional[str] = None
+
+    def workload_params(self, *, smoke: bool = False) -> Dict[str, object]:
+        """Declared params with smoke overrides merged in."""
+        merged = dict(self.params)
+        if smoke:
+            merged.update(self.smoke_params)
+        return merged
+
+    def to_dict(self) -> Dict[str, object]:
+        """Listing payload (no function reference, so not round-trippable)."""
+        return {
+            "name": self.name,
+            "suite": self.suite,
+            "description": self.description,
+            "params": dict(self.params),
+            "smoke_params": dict(self.smoke_params),
+            "bars": [bar.to_dict() for bar in self.bars],
+            "primary": self.primary,
+        }
+
+
+#: Registered benchmarks by name.  Mutated only through :func:`register`.
+_REGISTRY: Dict[str, PerfBenchmark] = {}
+_SUITES_LOADED = False
+
+
+def register(bench: PerfBenchmark) -> PerfBenchmark:
+    """Add one benchmark to the registry; duplicate names are an error."""
+    if "." not in bench.name:
+        raise ValueError(
+            f"benchmark name must be <suite>.<bench>, got {bench.name!r}")
+    if not bench.name.startswith(bench.suite + "."):
+        raise ValueError(
+            f"benchmark {bench.name!r} does not belong to suite {bench.suite!r}")
+    if bench.name in _REGISTRY:
+        raise ValueError(f"benchmark {bench.name!r} is already registered")
+    for bar in bench.bars:
+        if not bar.metric:
+            raise ValueError(f"benchmark {bench.name!r} has a bar without a metric")
+    _REGISTRY[bench.name] = bench
+    return bench
+
+
+def unregister(name: str) -> None:
+    """Remove one registration (test hook; suites never unregister)."""
+    _REGISTRY.pop(name, None)
+
+
+def perf_benchmark(
+    name: str,
+    *,
+    suite: Optional[str] = None,
+    params: Optional[Mapping[str, object]] = None,
+    smoke: Optional[Mapping[str, object]] = None,
+    bars: Sequence[Bar] = (),
+    primary: Optional[str] = None,
+    description: Optional[str] = None,
+):
+    """Decorator registering a workload function as a benchmark.
+
+    ``suite`` defaults to the name's ``<suite>.`` prefix; ``description``
+    defaults to the first line of the function's docstring.
+    """
+
+    def decorate(func):
+        doc = (func.__doc__ or "").strip().splitlines()
+        register(
+            PerfBenchmark(
+                name=name,
+                suite=suite if suite is not None else name.split(".", 1)[0],
+                func=func,
+                description=description if description is not None
+                else (doc[0] if doc else ""),
+                params=dict(params or {}),
+                smoke_params=dict(smoke or {}),
+                bars=tuple(bars),
+                primary=primary,
+            )
+        )
+        return func
+
+    return decorate
+
+
+def load_suites() -> None:
+    """Import every bundled suite module (idempotent) to populate the registry."""
+    global _SUITES_LOADED
+    if _SUITES_LOADED:
+        return
+    # Import for the registration side effect; the module lists its members.
+    from repro.perf import suites  # noqa: F401
+
+    _SUITES_LOADED = True
+
+
+def get_benchmark(name: str) -> PerfBenchmark:
+    load_suites()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "(none)"
+        raise KeyError(f"no registered benchmark {name!r}; known: {known}") from None
+
+
+def all_benchmarks() -> List[PerfBenchmark]:
+    """Every registered benchmark, sorted by (suite, name)."""
+    load_suites()
+    return sorted(_REGISTRY.values(), key=lambda bench: (bench.suite, bench.name))
+
+
+def suite_names() -> List[str]:
+    return sorted({bench.suite for bench in all_benchmarks()})
+
+
+def select_benchmarks(
+    *,
+    suites: Sequence[str] = (),
+    benches: Sequence[str] = (),
+) -> List[PerfBenchmark]:
+    """Registry subset by suite and/or bench name (empty filters = all).
+
+    Unknown names raise ``KeyError`` so a typo in ``--bench`` can never
+    silently gate nothing.
+    """
+    selected = all_benchmarks()
+    known_suites = set(suite_names())
+    for suite in suites:
+        if suite not in known_suites:
+            raise KeyError(
+                f"no registered suite {suite!r}; known: {', '.join(sorted(known_suites))}")
+    for name in benches:
+        get_benchmark(name)  # raises with the known-name list
+    if suites or benches:
+        wanted_benches = set(benches)
+        wanted_suites = set(suites)
+        selected = [
+            bench for bench in selected
+            if bench.name in wanted_benches or bench.suite in wanted_suites
+        ]
+    return selected
+
+
+# --------------------------------------------------------------------- running
+@dataclass(frozen=True)
+class BarResult:  # repro-lint: disable=R005 (one-way history payload; gate re-reads plain dicts)
+    """One bar evaluated against one run's metrics."""
+
+    metric: str
+    op: str
+    limit: float
+    value: Optional[float]
+    passed: bool
+
+    def render(self) -> str:
+        shown = f"{self.value:g}" if self.value is not None else "missing"
+        verdict = "PASS" if self.passed else "FAIL"
+        return f"{self.metric} {self.op} {self.limit:g} : {shown}  {verdict}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "metric": self.metric,
+            "op": self.op,
+            "limit": self.limit,
+            "value": self.value,
+            "passed": self.passed,
+        }
+
+
+def evaluate_bars(
+    bars: Sequence[Bar], metrics: Mapping[str, float], *, smoke: bool = False
+) -> List[BarResult]:
+    """Check declared bars against a metrics mapping (missing metric = FAIL)."""
+    results: List[BarResult] = []
+    for bar in bars:
+        raw = metrics.get(bar.metric)
+        value = float(raw) if isinstance(raw, (int, float)) else None
+        passed = value is not None and bar.passes(value, smoke=smoke)
+        results.append(
+            BarResult(
+                metric=bar.metric,
+                op=bar.op,
+                limit=bar.limit(smoke=smoke),
+                value=value,
+                passed=passed,
+            )
+        )
+    return results
+
+
+@dataclass(frozen=True)
+class PerfRunResult:
+    """One benchmark execution: metrics, series, evaluated bars, context."""
+
+    bench: str
+    suite: str
+    smoke: bool
+    metrics: Dict[str, float]
+    series: Dict[str, SeriesStats]
+    primary: Optional[str]
+    bar_results: Tuple[BarResult, ...]
+    elapsed_seconds: float
+    env: Dict[str, object]
+
+    @property
+    def ok(self) -> bool:
+        return all(result.passed for result in self.bar_results)
+
+    @property
+    def failed_bars(self) -> List[BarResult]:
+        return [result for result in self.bar_results if not result.passed]
+
+    def failure_text(self) -> str:
+        """One line per failed bar, for assertion messages."""
+        return "; ".join(
+            f"{self.bench}: {result.render()}" for result in self.failed_bars
+        ) or f"{self.bench}: all bars passed"
+
+    def to_record(self) -> Dict[str, object]:
+        """The history-record payload (schema documented in PERF_FORMAT.md).
+
+        ``recorded_at`` is stamped by :meth:`repro.perf.history.PerfHistory
+        .append`, not here — run results themselves carry only monotonic
+        durations.
+        """
+        return {
+            "bench": self.bench,
+            "suite": self.suite,
+            "smoke": self.smoke,
+            "metrics": dict(self.metrics),
+            "series": {
+                name: stats.to_dict() for name, stats in self.series.items()
+            },
+            "primary": self.primary,
+            "bars": [result.to_dict() for result in self.bar_results],
+            "ok": self.ok,
+            "elapsed_seconds": self.elapsed_seconds,
+            "env": dict(self.env),
+        }
+
+
+def run_registered(
+    name: str,
+    *,
+    smoke: bool = False,
+    env: Optional[Dict[str, object]] = None,
+) -> PerfRunResult:
+    """Execute one registered benchmark and evaluate its bars.
+
+    ``env`` lets a sweep fingerprint once and share it across benches; by
+    default each run fingerprints itself.
+    """
+    bench = get_benchmark(name)
+    harness = Harness(smoke=smoke)
+    start = time.perf_counter()
+    raw_metrics = bench.func(harness, bench.workload_params(smoke=smoke))
+    elapsed = time.perf_counter() - start
+    metrics = {
+        key: float(value)
+        for key, value in (raw_metrics or {}).items()
+        if isinstance(value, (int, float))
+    }
+    return PerfRunResult(
+        bench=bench.name,
+        suite=bench.suite,
+        smoke=smoke,
+        metrics=metrics,
+        series=dict(harness.series),
+        primary=bench.primary,
+        bar_results=tuple(evaluate_bars(bench.bars, metrics, smoke=smoke)),
+        elapsed_seconds=elapsed,
+        env=dict(env) if env is not None else environment_fingerprint(),
+    )
+
+
+def render_run(result: PerfRunResult) -> str:
+    """Human-readable one-run report in the house ascii style."""
+    mode = "smoke" if result.smoke else "full"
+    lines = [f"{result.bench} [{result.suite}] ({mode})"]
+    if result.metrics:
+        lines.append(
+            "  metrics : "
+            + "  ".join(f"{key}={value:,.4g}" for key, value in sorted(result.metrics.items()))
+        )
+    for name, stats in sorted(result.series.items()):
+        marker = "*" if name == result.primary else " "
+        lines.append(
+            f"  series{marker} : {name}: median={stats.median * 1e3:,.3f}ms "
+            f"iqr={stats.iqr * 1e3:,.3f}ms min={stats.seconds_min * 1e3:,.3f}ms "
+            f"({stats.repeats} repeats)"
+        )
+    for bar in result.bar_results:
+        lines.append(f"  bar     : {bar.render()}")
+    lines.append(f"  elapsed : {result.elapsed_seconds:.2f} s")
+    return "\n".join(lines)

@@ -1,0 +1,28 @@
+"""Bundled benchmark suites: importing this package registers every bench.
+
+Each submodule owns one suite (shared workload builders included) and the
+``benchmarks/bench_*.py`` pytest scripts import their workloads from here —
+the registry is the single source of truth for workload parameters, smoke
+scaling and acceptance bars.
+"""
+
+from repro.perf.suites import (  # noqa: F401  (import = registration)
+    ablation,
+    attacks,
+    campaign,
+    engine,
+    experiments,
+    solver,
+    substrate,
+)
+
+#: Suites in load order (documentation; the registry sorts alphabetically).
+SUITE_MODULES = (
+    "ablation",
+    "attacks",
+    "campaign",
+    "engine",
+    "experiments",
+    "solver",
+    "substrate",
+)

@@ -1,0 +1,127 @@
+"""Ablation suite: timing trajectory for the three ablation studies.
+
+The ablation *findings* (counter-mode equivalence, DANA NMI monotonicity,
+roughly linear MUX-tree overhead) stay asserted in the pytest scripts and
+are re-raised here; the registry benches record how long each study takes,
+because the ablations are the first thing an operator re-runs after
+touching the locking transforms and a 10x slowdown there is a real
+regression even when every result is still correct.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.perf.harness import Harness
+from repro.perf.registry import perf_benchmark
+
+
+@perf_benchmark(
+    "ablation.counter_mode",
+    params=dict(num_sequences=4, sequence_length=32),
+    smoke=dict(num_sequences=2, sequence_length=16),
+    primary="wrap",
+)
+def counter_mode(harness: Harness, params: Dict[str, object]) -> Dict[str, float]:
+    """Lock + sequential-equivalence cost of wrap vs saturate counters."""
+    from repro.benchmarks_data.itc99 import load_itc99
+    from repro.locking.cutelock_str import CuteLockStr
+    from repro.sim.equivalence import sequential_equivalence_check
+
+    circuit = load_itc99("b03").circuit
+    num_sequences = int(params["num_sequences"])
+    sequence_length = int(params["sequence_length"])
+
+    def study(saturate: bool) -> None:
+        locked = CuteLockStr(num_keys=4, key_width=3, num_locked_ffs=2,
+                             saturate_counter=saturate, seed=3).lock(circuit)
+        schedule = list(locked.schedule.values)
+        if saturate:
+            # After the counter saturates the last scheduled key is held.
+            schedule += [schedule[-1]] * 60
+        verdict = sequential_equivalence_check(
+            circuit, locked.circuit, key_schedule=schedule,
+            key_inputs=locked.key_inputs, num_sequences=num_sequences,
+            sequence_length=sequence_length,
+        )
+        if not verdict.equivalent:
+            raise RuntimeError(
+                f"{'saturate' if saturate else 'wrap'} counter broke "
+                "functionality under the correct schedule")
+
+    metrics: Dict[str, float] = {}
+    for saturate, label in ((False, "wrap"), (True, "saturate")):
+        stats = harness.time_series(
+            label, lambda: study(saturate), repeats=3, warmup=1)
+        metrics[f"{label}_seconds"] = stats.median
+    return metrics
+
+
+@perf_benchmark(
+    "ablation.locked_ffs",
+    params=dict(ff_counts=(1, 4, 8, 16)),
+    smoke=dict(ff_counts=(1, 8)),
+    primary="sweep",
+)
+def locked_ffs(harness: Harness, params: Dict[str, object]) -> Dict[str, float]:
+    """DANA-NMI-vs-locked-FFs sweep cost (lock + dataflow attack per point)."""
+    from repro.attacks.dana import dana_attack
+    from repro.benchmarks_data.itc99 import load_itc99
+    from repro.locking.cutelock_str import CuteLockStr
+
+    generated = load_itc99("b10")
+    ff_counts = tuple(int(count) for count in params["ff_counts"])  # type: ignore[union-attr]
+    baseline = dana_attack(generated.circuit, generated.register_groups)
+
+    def sweep() -> None:
+        for num_locked_ffs in ff_counts:
+            locked = CuteLockStr(
+                num_keys=4, key_width=3, num_locked_ffs=num_locked_ffs,
+                donors_per_ff=2, seed=2).lock(generated.circuit)
+            report = dana_attack(locked, generated.register_groups)
+            if report.nmi_score > baseline.nmi_score + 1e-9:
+                raise RuntimeError(
+                    f"locking {num_locked_ffs} FFs *raised* the DANA NMI")
+
+    stats = harness.time_series("sweep", sweep, repeats=2, warmup=1)
+    return {"sweep_seconds": stats.median, "points": float(len(ff_counts))}
+
+
+@perf_benchmark(
+    "ablation.muxtree",
+    params=dict(key_widths=(1, 2, 4, 8), key_counts=(2, 4, 8, 16),
+                activity_vectors=16),
+    smoke=dict(key_widths=(1, 4), key_counts=(2, 8), activity_vectors=8),
+    primary="sweep",
+)
+def muxtree(harness: Harness, params: Dict[str, object]) -> Dict[str, float]:
+    """MUX-tree overhead sweep cost across key width and key count."""
+    from repro.benchmarks_data.itc99 import load_itc99
+    from repro.locking.cutelock_str import CuteLockStr
+    from repro.synthesis.overhead import compare_overhead
+
+    circuit = load_itc99("b03").circuit
+    key_widths = tuple(int(width) for width in params["key_widths"])  # type: ignore[union-attr]
+    key_counts = tuple(int(count) for count in params["key_counts"])  # type: ignore[union-attr]
+    activity_vectors = int(params["activity_vectors"])
+
+    def study(num_keys: int, key_width: int) -> None:
+        transform = CuteLockStr(num_keys=num_keys, key_width=key_width,
+                                num_locked_ffs=2, seed=1)
+        report = compare_overhead(transform.lock(circuit),
+                                  activity_vectors=activity_vectors)
+        if report.cell_overhead_pct < 0:
+            raise RuntimeError(
+                f"negative cell overhead at k={num_keys} ki={key_width}")
+
+    def sweep() -> None:
+        for key_width in key_widths:
+            study(4, key_width)
+        for num_keys in key_counts:
+            study(num_keys, 3)
+
+    stats = harness.time_series("sweep", sweep, repeats=2, warmup=1)
+    return {
+        "sweep_seconds": stats.median,
+        "points": float(len(key_widths) + len(key_counts)),
+    }

@@ -1,0 +1,143 @@
+"""Experiments suite: end-to-end wall clock of the paper's regenerations.
+
+No bars here — the tables' and figure's *results* are pinned by the pytest
+suites (benchmarks/bench_table*.py, bench_figure4_overhead.py); what the
+registry adds is one recorded timing series per experiment so
+``repro perf compare`` catches a slow creep in the full
+lock→encode→attack→report pipelines between commits.  Every bench still
+re-asserts the paper's qualitative finding (as a raised error): timing a
+run that produces the wrong table would poison the history.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.perf.harness import Harness
+from repro.perf.registry import perf_benchmark
+
+
+@perf_benchmark(
+    "experiments.table1",
+    params=dict(num_cycles=16),
+    smoke=dict(num_cycles=8),
+    primary="run",
+)
+def table1(harness: Harness, params: Dict[str, object]) -> Dict[str, float]:
+    """Table I regeneration (Cute-Lock-Beh waveform validation)."""
+    from repro.experiments.table1 import run_table1
+
+    num_cycles = int(params["num_cycles"])
+
+    def run() -> None:
+        _, artefacts = run_table1(num_cycles=num_cycles)
+        if not (artefacts["matches_correct"] and artefacts["diverges_wrong"]):
+            raise RuntimeError("Table I regeneration lost the paper's result")
+
+    stats = harness.time_series("run", run, repeats=3, warmup=1)
+    return {"seconds": stats.median}
+
+
+@perf_benchmark(
+    "experiments.table2",
+    params=dict(num_cycles=15),
+    smoke=dict(num_cycles=8),
+    primary="run",
+)
+def table2(harness: Harness, params: Dict[str, object]) -> Dict[str, float]:
+    """Table II regeneration (Cute-Lock-Str validation on s27)."""
+    from repro.experiments.table2 import run_table2
+
+    num_cycles = int(params["num_cycles"])
+
+    def run() -> None:
+        _, artefacts = run_table2(num_cycles=num_cycles)
+        if not (artefacts["matches_correct"] and artefacts["diverges_wrong"]):
+            raise RuntimeError("Table II regeneration lost the paper's result")
+
+    stats = harness.time_series("run", run, repeats=3, warmup=1)
+    return {"seconds": stats.median}
+
+
+@perf_benchmark(
+    "experiments.table3",
+    params=dict(time_limit=60.0),
+    smoke=dict(time_limit=10.0),
+    primary="run",
+)
+def table3(harness: Harness, params: Dict[str, object]) -> Dict[str, float]:
+    """Table III quick regeneration (Cute-Lock-Beh vs BBO/INT/KC2)."""
+    from repro.experiments.table3 import run_table3
+
+    time_limit = float(params["time_limit"])
+
+    def run() -> None:
+        _, raw = run_table3(quick=True, time_limit=time_limit)
+        if any(result.broke_defense
+               for results in raw.values() for result in results):
+            raise RuntimeError("an attack broke Cute-Lock-Beh in Table III")
+
+    stats = harness.time_series("run", run, repeats=2, warmup=0)
+    return {"seconds": stats.median}
+
+
+@perf_benchmark(
+    "experiments.table4",
+    params=dict(time_limit=60.0),
+    smoke=dict(time_limit=10.0),
+    primary="run",
+)
+def table4(harness: Harness, params: Dict[str, object]) -> Dict[str, float]:
+    """Table IV quick regeneration (Cute-Lock-Str vs BBO/INT/KC2/RANE)."""
+    from repro.experiments.table4 import run_table4
+
+    time_limit = float(params["time_limit"])
+
+    def run() -> None:
+        _, raw = run_table4(quick=True, time_limit=time_limit)
+        if any(result.broke_defense
+               for results in raw.values() for result in results):
+            raise RuntimeError("an attack broke Cute-Lock-Str in Table IV")
+
+    stats = harness.time_series("run", run, repeats=2, warmup=0)
+    return {"seconds": stats.median}
+
+
+@perf_benchmark("experiments.table5", primary="run")
+def table5(harness: Harness, params: Dict[str, object]) -> Dict[str, float]:
+    """Table V quick regeneration (DANA NMI + FALL on Cute-Lock-Str)."""
+    from repro.experiments.table5 import run_table5
+
+    def run() -> None:
+        table, _ = run_table5(quick=True)
+        if any(row["FALL keys"] != 0 for row in table.rows):
+            raise RuntimeError("FALL recovered keys in Table V")
+        unlocked = sum(row["NMI (unlocked)"] for row in table.rows)
+        locked = sum(row["NMI (locked)"] for row in table.rows)
+        if locked >= unlocked:
+            raise RuntimeError("locking did not reduce the average DANA NMI")
+
+    stats = harness.time_series("run", run, repeats=2, warmup=0)
+    return {"seconds": stats.median}
+
+
+@perf_benchmark("experiments.figure4", primary="run")
+def figure4(harness: Harness, params: Dict[str, object]) -> Dict[str, float]:
+    """Figure 4 quick regeneration (overhead panels vs DK-Lock)."""
+    from repro.experiments.figure4 import run_figure4
+
+    def run() -> None:
+        tables, _ = run_figure4(quick=True)
+        cells = tables["cell_count"]
+        first_row, last_row = cells.rows[0], cells.rows[-1]
+
+        def relative(row, column):
+            return (row[column] - row["Original"]) / row["Original"]
+
+        if relative(first_row, "Test Run 2") < relative(last_row, "Test Run 2"):
+            raise RuntimeError("overhead no longer shrinks with circuit size")
+        if first_row["Test Run 1"] > first_row["DK-Lock avg"]:
+            raise RuntimeError("light Cute-Lock run no longer beats DK-Lock avg")
+
+    stats = harness.time_series("run", run, repeats=2, warmup=0)
+    return {"seconds": stats.median}

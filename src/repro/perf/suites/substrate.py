@@ -1,0 +1,86 @@
+"""Substrate suite: one multi-series micro bench over the building blocks.
+
+``benchmarks/bench_substrate_perf.py`` keeps its conventional
+pytest-benchmark measurements (many rounds, statistical output); this
+registry bench re-times the same six substrate operations as harness
+series so they land in the perf history and participate in
+``repro perf compare``.  The primary series is the Tseitin encode — the
+substrate step every attack pipeline pays on every instance.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict
+
+from repro.perf.harness import Harness
+from repro.perf.registry import perf_benchmark
+
+
+@perf_benchmark(
+    "substrate.micro",
+    params=dict(repeats=5),
+    smoke=dict(repeats=3),
+    primary="tseitin_encode",
+)
+def micro(harness: Harness, params: Dict[str, object]) -> Dict[str, float]:
+    """Median seconds per substrate operation (solver, encoder, sims, lock)."""
+    from repro.benchmarks_data.itc99 import load_itc99
+    from repro.fsm.random_fsm import random_fsm
+    from repro.fsm.synthesis import synthesize_fsm
+    from repro.locking.cutelock_str import CuteLockStr
+    from repro.sat.solver import Solver
+    from repro.sat.tseitin import TseitinEncoder
+    from repro.sim.logicsim import CombinationalSimulator
+    from repro.sim.seqsim import SequentialSimulator
+
+    repeats = int(params["repeats"])
+    circuit = load_itc99("b14").circuit
+
+    rng = random.Random(0)
+    num_vars, num_clauses = 60, 250
+    clauses = [
+        [rng.choice([1, -1]) * rng.randint(1, num_vars) for _ in range(3)]
+        for _ in range(num_clauses)
+    ]
+
+    def solve_3sat() -> None:
+        solver = Solver()
+        solver.add_clauses(clauses)
+        if solver.solve() not in (True, False):
+            raise RuntimeError("random 3-SAT solve did not terminate")
+
+    def tseitin_encode() -> None:
+        if not TseitinEncoder().encode(circuit).clauses:
+            raise RuntimeError("Tseitin encode produced no clauses")
+
+    seq_rng = random.Random(1)
+    seq_vectors = [
+        {net: seq_rng.randint(0, 1) for net in circuit.inputs} for _ in range(64)
+    ]
+
+    def sequential_sim() -> None:
+        if len(SequentialSimulator(circuit).run(seq_vectors)) != 64:
+            raise RuntimeError("sequential simulation dropped cycles")
+
+    comb = circuit.combinational_view()
+    comb_sim = CombinationalSimulator(comb)
+    comb_rng = random.Random(2)
+    comb_vector = {net: comb_rng.randint(0, 1) for net in comb.inputs}
+
+    fsm = random_fsm(16, 3, 3, seed=4)
+    transform = CuteLockStr(num_keys=8, key_width=4, num_locked_ffs=4, seed=5)
+
+    series = {
+        "sat_random_3sat": solve_3sat,
+        "tseitin_encode": tseitin_encode,
+        "sequential_sim": sequential_sim,
+        "combinational_sim": lambda: comb_sim.outputs(comb_vector),
+        "fsm_synthesis": lambda: synthesize_fsm(fsm, style="mux"),
+        "cutelock_str_lock": lambda: transform.lock(circuit),
+    }
+    metrics: Dict[str, float] = {}
+    for name, operation in series.items():
+        stats = harness.time_series(name, operation, repeats=repeats, warmup=1)
+        metrics[f"{name}_seconds"] = stats.median
+    return metrics

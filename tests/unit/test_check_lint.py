@@ -290,6 +290,7 @@ def test_allowlist_entry_matches_rule_module_and_qualname():
 def test_shipped_allowlist_is_minimal_and_documented():
     assert set(ALLOWLIST) == {
         ("R001", "repro.campaign.store", "ResultStore.append"),
+        ("R001", "repro.perf.history", "PerfHistory.append"),
     }
     for reason in ALLOWLIST.values():
         assert reason.strip()

@@ -1,0 +1,412 @@
+"""Unit tests for repro.perf: harness math, registry, history, compare, gate."""
+
+import json
+
+import pytest
+
+from repro.perf import (
+    Bar,
+    Harness,
+    IMPROVED,
+    MISSING,
+    NEW,
+    NOISY,
+    PERF_SCHEMA_VERSION,
+    PerfBenchmark,
+    PerfHistory,
+    REGRESSED,
+    SeriesStats,
+    compare_records,
+    environment_fingerprint,
+    evaluate_bars,
+    evaluate_gate,
+    git_revision,
+    perf_benchmark,
+    primary_stats,
+    quantile,
+    register,
+    render_compare,
+    render_gate,
+    render_run,
+    run_registered,
+    series_stats,
+    snapshot_payload,
+    unregister,
+    write_snapshots,
+)
+
+
+# --------------------------------------------------------------------- #
+# harness
+# --------------------------------------------------------------------- #
+def test_quantile_linear_interpolation():
+    samples = [4.0, 1.0, 3.0, 2.0]
+    assert quantile(samples, 0.0) == 1.0
+    assert quantile(samples, 1.0) == 4.0
+    assert quantile(samples, 0.5) == pytest.approx(2.5)
+    assert quantile(samples, 0.25) == pytest.approx(1.75)
+    with pytest.raises(ValueError):
+        quantile([], 0.5)
+    with pytest.raises(ValueError):
+        quantile(samples, 1.5)
+
+
+def test_series_stats_quartiles_and_iqr():
+    stats = series_stats([5.0, 1.0, 3.0, 2.0, 4.0])
+    assert stats.repeats == 5
+    assert stats.seconds_min == 1.0
+    assert stats.median == 3.0
+    assert stats.q1 == 2.0 and stats.q3 == 4.0
+    assert stats.iqr == pytest.approx(2.0)
+    assert SeriesStats.from_dict(stats.to_dict()) == stats
+
+
+def test_harness_record_series_rejects_empty():
+    harness = Harness()
+    with pytest.raises(ValueError, match="no samples"):
+        harness.record_series("empty", [])
+
+
+def test_harness_time_series_counts_warmup_and_repeats():
+    harness = Harness(smoke=True)
+    calls = []
+    stats = harness.time_series("calls", lambda: calls.append(1),
+                                repeats=4, warmup=2)
+    assert len(calls) == 6  # 2 warmup + 4 recorded
+    assert stats.repeats == 4
+    assert harness.series["calls"] is stats
+    assert harness.smoke is True
+
+
+def test_harness_timed_and_sustained_rate():
+    result, elapsed = Harness.timed(lambda: "value")
+    assert result == "value" and elapsed >= 0.0
+    rate = Harness.sustained_rate(lambda: None, units=64, repeats=1,
+                                  min_seconds=0.001)
+    assert rate > 0.0
+
+
+def test_environment_fingerprint_is_stable_and_carries_git_sha():
+    first = environment_fingerprint()
+    second = environment_fingerprint()
+    assert first == second  # stability is what makes (bench, sha) an index
+    assert set(first) == {"git_sha", "python", "implementation", "platform",
+                          "cpu_count", "flags"}
+    assert first["git_sha"] == git_revision()
+
+
+def test_git_revision_outside_a_repo_is_none(tmp_path):
+    assert git_revision(cwd=str(tmp_path)) is None
+
+
+# --------------------------------------------------------------------- #
+# bars and registry
+# --------------------------------------------------------------------- #
+def test_bar_limits_and_smoke_relaxation():
+    bar = Bar("speedup", ">=", 10.0, smoke_threshold=5.0)
+    assert bar.limit() == 10.0 and bar.limit(smoke=True) == 5.0
+    assert bar.passes(7.0, smoke=True) and not bar.passes(7.0)
+    ceiling = Bar("slowdown", "<=", 0.05)
+    assert ceiling.limit(smoke=True) == 0.05  # no smoke override -> same bar
+    assert ceiling.passes(0.01) and not ceiling.passes(0.2)
+    assert Bar.from_dict(bar.to_dict()) == bar
+
+
+def test_bar_rejects_unknown_operator():
+    with pytest.raises(ValueError):
+        Bar("metric", ">", 1.0)
+
+
+def test_evaluate_bars_flags_missing_metric():
+    results = evaluate_bars([Bar("rate", ">=", 100.0)], {}, smoke=False)
+    assert len(results) == 1
+    assert not results[0].passed and results[0].value is None
+
+
+def _synthetic_bench(name="testsuite.widget", **kwargs):
+    defaults = dict(
+        params=dict(size=100), smoke=dict(size=10),
+        bars=[Bar("rate", ">=", 50.0, smoke_threshold=5.0)],
+        primary="loop",
+    )
+    defaults.update(kwargs)
+
+    @perf_benchmark(name, **defaults)
+    def widget(harness, params):
+        harness.record_series("loop", [0.01, 0.011, 0.012])
+        return {"rate": float(params["size"])}
+
+    return widget
+
+
+def test_registry_round_trip_and_run():
+    _synthetic_bench()
+    try:
+        result = run_registered("testsuite.widget")
+        assert result.ok and result.metrics == {"rate": 100.0}
+        assert result.suite == "testsuite" and not result.smoke
+        assert "loop" in result.series
+        # Smoke run: reduced workload (rate 10) against the relaxed bar (5).
+        smoke = run_registered("testsuite.widget", smoke=True)
+        assert smoke.ok and smoke.metrics == {"rate": 10.0}
+        record = smoke.to_record()
+        assert record["bench"] == "testsuite.widget" and record["smoke"] is True
+        assert record["series"]["loop"]["repeats"] == 3
+        assert "recorded_at" not in record  # stamped by the history, not here
+        assert "rate" in render_run(result)
+    finally:
+        unregister("testsuite.widget")
+
+
+def test_registry_rejects_duplicates_and_bad_names():
+    _synthetic_bench()
+    try:
+        with pytest.raises(ValueError, match="already registered"):
+            _synthetic_bench()
+    finally:
+        unregister("testsuite.widget")
+    with pytest.raises(ValueError, match="<suite>.<bench>"):
+        register(PerfBenchmark(name="nodot", suite="nodot", func=lambda h, p: {}))
+
+
+def test_run_registered_fails_bar_without_raising():
+    _synthetic_bench(bars=[Bar("rate", ">=", 1e9)])
+    try:
+        result = run_registered("testsuite.widget")
+        assert not result.ok
+        assert [bar.metric for bar in result.failed_bars] == ["rate"]
+        assert "rate" in result.failure_text()
+    finally:
+        unregister("testsuite.widget")
+
+
+def test_run_registered_unknown_name_lists_known():
+    with pytest.raises(KeyError):
+        run_registered("nosuch.bench")
+
+
+# --------------------------------------------------------------------- #
+# history store
+# --------------------------------------------------------------------- #
+def _record(bench, median, *, smoke=False, sha="a" * 40, iqr=0.002,
+            metrics=None, suite=None):
+    q1 = median - iqr / 2
+    q3 = median + iqr / 2
+    return {
+        "bench": bench,
+        "suite": suite or bench.split(".")[0],
+        "smoke": smoke,
+        "metrics": metrics or {},
+        "series": {
+            "loop": {"repeats": 5, "min": q1, "q1": q1, "median": median,
+                     "q3": q3},
+        },
+        "primary": "loop",
+        "bars": [],
+        "ok": True,
+        "elapsed_seconds": median * 5,
+        "env": {"git_sha": sha},
+    }
+
+
+def test_history_append_and_read_round_trip(tmp_path):
+    history = PerfHistory(tmp_path / "perf.jsonl")
+    assert history.records() == []
+    written = history.append(_record("s.a", 0.5))
+    assert written["schema"] == PERF_SCHEMA_VERSION
+    assert written["recorded_at"] > 0
+    records = history.records()
+    assert len(records) == 1 and records[0]["bench"] == "s.a"
+
+
+def test_history_tolerates_torn_final_line_silently(tmp_path, recwarn):
+    history = PerfHistory(tmp_path / "perf.jsonl")
+    history.append(_record("s.a", 0.5))
+    with history.path.open("a") as handle:
+        handle.write('{"bench": "s.b", "tr')  # killed mid-append
+    records = history.records()
+    assert [record["bench"] for record in records] == ["s.a"]
+    assert not recwarn.list  # a torn tail is expected, not noteworthy
+
+
+def test_history_warns_on_midfile_corruption_with_location(tmp_path):
+    history = PerfHistory(tmp_path / "perf.jsonl")
+    history.append(_record("s.a", 0.5))
+    with history.path.open("a") as handle:
+        handle.write("not json at all\n")
+    history.append(_record("s.b", 0.7))
+    with pytest.warns(RuntimeWarning, match=r"perf\.jsonl:2"):
+        records = history.records()
+    assert [record["bench"] for record in records] == ["s.a", "s.b"]
+
+
+def test_history_skips_newer_schema_records(tmp_path):
+    history = PerfHistory(tmp_path / "perf.jsonl")
+    history.append(_record("s.a", 0.5))
+    history.append({**_record("s.b", 0.7), "schema": PERF_SCHEMA_VERSION + 1})
+    with pytest.warns(RuntimeWarning, match="schema"):
+        records = history.records()
+    assert [record["bench"] for record in records] == ["s.a"]
+
+
+def test_history_latest_is_last_match_per_mode(tmp_path):
+    history = PerfHistory(tmp_path / "perf.jsonl")
+    history.append(_record("s.a", 0.5))
+    history.append(_record("s.a", 0.6))
+    history.append(_record("s.a", 0.1, smoke=True))
+    latest = history.latest(smoke=False)
+    assert latest["s.a"]["series"]["loop"]["median"] == 0.6
+    assert history.latest(smoke=True)["s.a"]["series"]["loop"]["median"] == 0.1
+    assert history.latest()["s.a"]["series"]["loop"]["median"] == 0.1
+
+
+def test_history_sha_index_and_prefix_resolution(tmp_path):
+    history = PerfHistory(tmp_path / "perf.jsonl")
+    history.append(_record("s.a", 0.5, sha="a" * 40))
+    history.append(_record("s.a", 0.9, sha="b" * 40))
+    assert history.shas() == ["a" * 40, "b" * 40]
+    by_sha = history.latest_by_sha()
+    assert by_sha[("s.a", "a" * 40)]["series"]["loop"]["median"] == 0.5
+    assert history.for_sha("bbbb")["s.a"]["series"]["loop"]["median"] == 0.9
+    with pytest.raises(ValueError, match="no perf records"):
+        history.for_sha("c" * 40)
+    history.append(_record("s.a", 0.7, sha="ab" + "c" * 38))
+    with pytest.raises(ValueError, match="ambiguous"):
+        history.for_sha("a")
+
+
+def test_snapshots_are_deterministic_and_per_suite(tmp_path):
+    history = PerfHistory(tmp_path / "perf.jsonl")
+    history.append(_record("alpha.x", 0.5, metrics={"rate": 10.0}))
+    history.append(_record("beta.y", 0.2))
+    paths = write_snapshots(history, tmp_path)
+    assert [path.name for path in paths] == ["BENCH_ALPHA.json", "BENCH_BETA.json"]
+    first_bytes = paths[0].read_bytes()
+    payload = json.loads(first_bytes)
+    assert payload["suite"] == "alpha"
+    assert payload["benches"]["alpha.x"]["metrics"] == {"rate": 10.0}
+    # Re-writing unchanged data must be byte-identical (committable marker).
+    write_snapshots(history, tmp_path)
+    assert paths[0].read_bytes() == first_bytes
+    only = write_snapshots(history, tmp_path, suites=("beta",))
+    assert [path.name for path in only] == ["BENCH_BETA.json"]
+    assert snapshot_payload(history.latest(), "nosuch")["benches"] == {}
+
+
+# --------------------------------------------------------------------- #
+# compare verdicts
+# --------------------------------------------------------------------- #
+def _verdict_of(comparison, bench):
+    return next(row for row in comparison["rows"] if row["bench"] == bench)
+
+
+def test_compare_flags_injected_2x_regression():
+    baseline = {"s.a": _record("s.a", 0.100)}
+    candidate = {"s.a": _record("s.a", 0.200)}  # 2x slower, disjoint IQRs
+    comparison = compare_records(baseline, candidate)
+    row = _verdict_of(comparison, "s.a")
+    assert row["verdict"] == REGRESSED
+    assert row["relative_change"] == pytest.approx(1.0)
+    assert not comparison["ok"]
+    assert "REGRESSION" in render_compare(comparison)
+
+
+def test_compare_calls_jitter_within_iqr_noisy():
+    # 15% median drift, but wide overlapping noise bands -> indistinguishable.
+    baseline = {"s.a": _record("s.a", 0.100, iqr=0.050)}
+    candidate = {"s.a": _record("s.a", 0.115, iqr=0.050)}
+    comparison = compare_records(baseline, candidate)
+    row = _verdict_of(comparison, "s.a")
+    assert row["verdict"] == NOISY and row["iqr_overlap"] is True
+    assert comparison["ok"]
+
+
+def test_compare_small_drift_is_noise_even_without_overlap():
+    baseline = {"s.a": _record("s.a", 0.1000, iqr=0.0001)}
+    candidate = {"s.a": _record("s.a", 0.1050, iqr=0.0001)}  # +5% < threshold
+    assert _verdict_of(compare_records(baseline, candidate),
+                       "s.a")["verdict"] == NOISY
+
+
+def test_compare_flags_improvement_and_respects_threshold():
+    baseline = {"s.a": _record("s.a", 0.200)}
+    candidate = {"s.a": _record("s.a", 0.100)}
+    comparison = compare_records(baseline, candidate)
+    assert _verdict_of(comparison, "s.a")["verdict"] == IMPROVED
+    assert comparison["ok"]  # improvements never fail a comparison
+    # A 100% threshold calls the same halving noise.
+    loose = compare_records(baseline, candidate, threshold=1.0)
+    assert _verdict_of(loose, "s.a")["verdict"] == NOISY
+    with pytest.raises(ValueError):
+        compare_records(baseline, candidate, threshold=-0.1)
+
+
+def test_compare_missing_fails_and_new_does_not():
+    baseline = {"s.gone": _record("s.gone", 0.1)}
+    candidate = {"s.born": _record("s.born", 0.1)}
+    comparison = compare_records(baseline, candidate)
+    assert _verdict_of(comparison, "s.gone")["verdict"] == MISSING
+    assert _verdict_of(comparison, "s.born")["verdict"] == NEW
+    assert not comparison["ok"]  # a silently-dropped bench is a finding
+
+
+def test_compare_zero_median_baseline_degenerates_gracefully():
+    baseline = {"s.a": _record("s.a", 0.0, iqr=0.0)}
+    fast = {"s.a": _record("s.a", 0.0, iqr=0.0)}
+    assert _verdict_of(compare_records(baseline, fast), "s.a")["verdict"] == NOISY
+    slow = {"s.a": _record("s.a", 0.5, iqr=0.001)}
+    row = _verdict_of(compare_records(baseline, slow), "s.a")
+    assert row["verdict"] == REGRESSED
+    assert row["relative_change"] == float("inf")
+
+
+def test_primary_stats_falls_back_to_elapsed_seconds():
+    record = {"bench": "s.a", "elapsed_seconds": 2.0}
+    stats = primary_stats(record)
+    assert stats.median == 2.0 and stats.iqr == 0.0
+    assert primary_stats({"bench": "s.a"}) is None
+
+
+# --------------------------------------------------------------------- #
+# gate
+# --------------------------------------------------------------------- #
+def _gate_bench(name, threshold, smoke_threshold=None):
+    return PerfBenchmark(
+        name=name, suite=name.split(".")[0], func=lambda h, p: {},
+        bars=(Bar("rate", ">=", threshold, smoke_threshold=smoke_threshold),),
+    )
+
+
+def test_gate_passes_fails_and_misses():
+    benches = [
+        _gate_bench("s.good", 50.0),
+        _gate_bench("s.bad", 50.0),
+        _gate_bench("s.absent", 50.0),
+        PerfBenchmark(name="s.unbarred", suite="s", func=lambda h, p: {}),
+    ]
+    latest = {
+        "s.good": _record("s.good", 0.1, metrics={"rate": 100.0}),
+        "s.bad": _record("s.bad", 0.1, metrics={"rate": 10.0}),
+        "s.unbarred": _record("s.unbarred", 0.1),
+    }
+    gate = evaluate_gate(latest, benchmarks=benches)
+    statuses = {entry["bench"]: entry["status"] for entry in gate["entries"]}
+    assert statuses == {"s.good": "pass", "s.bad": "fail", "s.absent": "missing"}
+    assert gate["gated"] == 3 and gate["failed"] == 2 and not gate["ok"]
+    text = render_gate(gate)
+    assert "MISSING" in text and "gating failure" in text
+
+
+def test_gate_re_evaluates_registry_bars_not_stored_ones():
+    # The record passed at write time; gating against a *tightened* registry
+    # bar must fail it — the registry is the source of truth.
+    latest = {"s.a": _record("s.a", 0.1, metrics={"rate": 100.0})}
+    assert evaluate_gate(latest, benchmarks=[_gate_bench("s.a", 50.0)])["ok"]
+    assert not evaluate_gate(latest, benchmarks=[_gate_bench("s.a", 500.0)])["ok"]
+
+
+def test_gate_smoke_uses_relaxed_threshold():
+    latest = {"s.a": _record("s.a", 0.1, metrics={"rate": 10.0}, smoke=True)}
+    benches = [_gate_bench("s.a", 50.0, smoke_threshold=5.0)]
+    assert evaluate_gate(latest, smoke=True, benchmarks=benches)["ok"]
+    assert not evaluate_gate(latest, smoke=False, benchmarks=benches)["ok"]

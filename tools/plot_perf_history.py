@@ -1,0 +1,133 @@
+#!/usr/bin/env python
+"""Plot the perf history (perf-history.jsonl, see PERF_FORMAT.md).
+
+Charts each bench's primary-series median across recorded runs, so a slow
+creep that never trips a bar is visible at a glance.  With matplotlib
+installed a PNG is written; when it is missing (the pinned CI image ships
+without it) the script falls back to an ascii sparkline table built on
+the same bar renderer the ``repro trace``/``repro perf`` views use.
+
+Usage:
+    PYTHONPATH=src python tools/plot_perf_history.py perf-history.jsonl [-o perf.png]
+    PYTHONPATH=src python tools/plot_perf_history.py perf-history.jsonl --suite solver --ascii
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.perf.compare import primary_stats  # noqa: E402
+from repro.perf.history import PerfHistory  # noqa: E402
+from repro.trace.analysis import ascii_bar  # noqa: E402
+
+
+def bench_series(
+    history: PerfHistory, *, suites: Tuple[str, ...], smoke: bool
+) -> Dict[str, List[Tuple[str, float]]]:
+    """{bench: [(sha, primary median seconds), ...]} in append order."""
+    series: Dict[str, List[Tuple[str, float]]] = {}
+    for record in history.records():
+        if bool(record.get("smoke")) != smoke:
+            continue
+        bench = str(record.get("bench"))
+        if suites and bench.split(".", 1)[0] not in suites:
+            continue
+        stats = primary_stats(record)
+        if stats is None:
+            continue
+        env = record.get("env") or {}
+        sha = str(env.get("git_sha") or "-")[:12]
+        series.setdefault(bench, []).append((sha, stats.median))
+    return series
+
+
+def plot_png(series, output: Path) -> bool:
+    """Write the trend PNG; False when matplotlib is unavailable."""
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")  # headless: never require a display
+        import matplotlib.pyplot as plt
+    except ImportError:
+        return False
+
+    figure, ax = plt.subplots(figsize=(11, 6), constrained_layout=True)
+    for bench, points in sorted(series.items()):
+        ax.plot(range(len(points)), [seconds * 1e3 for _, seconds in points],
+                marker="o", markersize=3, label=bench)
+    ax.set_xlabel("recorded run")
+    ax.set_ylabel("primary median (ms)")
+    ax.set_yscale("log")
+    ax.set_title("perf history: primary-series median per bench")
+    ax.legend(fontsize=7, ncols=2)
+    figure.savefig(output, dpi=120)
+    plt.close(figure)
+    return True
+
+
+def render_ascii(series, *, width: int = 24) -> str:
+    """Per-bench trend table: newest median, change vs first, spark bars."""
+    if not series:
+        return "(no matching records)"
+    lines = [f"{'bench':<28}  {'first ms':>10}  {'last ms':>10}  "
+             f"{'change':>8}  trend (each bar = one run, scaled to max)"]
+    for bench, points in sorted(series.items()):
+        medians = [seconds for _, seconds in points]
+        peak = max(medians) or 1.0
+        # One bar character per recorded run, height-coded via bar width.
+        spark = "".join(
+            ascii_bar(median / peak, 1) or "." for median in medians[-width:]
+        )
+        change = (medians[-1] - medians[0]) / medians[0] if medians[0] else 0.0
+        lines.append(
+            f"{bench:<28}  {medians[0] * 1e3:>10,.3f}  "
+            f"{medians[-1] * 1e3:>10,.3f}  {change:>+8.1%}  {spark}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("history", nargs="?", default="perf-history.jsonl",
+                        help="perf history JSONL (default: perf-history.jsonl)")
+    parser.add_argument("-o", "--output", default="perf-history.png",
+                        help="PNG path (default: perf-history.png)")
+    parser.add_argument("--suite", action="append", default=None,
+                        help="restrict to one suite (repeatable)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="plot smoke-mode records (default: full-mode)")
+    parser.add_argument("--ascii", action="store_true",
+                        help="force the ascii renderer even when "
+                             "matplotlib is available")
+    args = parser.parse_args(argv)
+
+    history = PerfHistory(args.history)
+    if not Path(history.path).exists():
+        print(f"plot_perf_history: no history at {history.path}",
+              file=sys.stderr)
+        return 2
+    series = bench_series(history, suites=tuple(args.suite or ()),
+                          smoke=args.smoke)
+    if not series:
+        print("plot_perf_history: no matching records", file=sys.stderr)
+        return 2
+
+    if not args.ascii and plot_png(series, Path(args.output)):
+        print(f"plot written to {args.output}")
+        return 0
+    if not args.ascii:
+        print("matplotlib not installed; falling back to ascii rendering",
+              file=sys.stderr)
+    print(render_ascii(series))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,120 @@
+#!/usr/bin/env python
+"""Plot a structured event trace (.trace.jsonl, see TRACE_FORMAT.md).
+
+Renders the per-phase time breakdown and the bucketed conflict-rate
+timeline of one trace.  With matplotlib installed a PNG is written; when
+it is missing (the pinned CI image ships without it) the script falls
+back to the ascii renderers from :mod:`repro.trace.analysis` — the same
+views ``repro trace summary`` / ``repro trace timeline`` print — so the
+script is always usable.
+
+Usage:
+    PYTHONPATH=src python tools/plot_trace.py RUN.trace.jsonl [-o trace.png]
+    PYTHONPATH=src python tools/plot_trace.py RUN.trace.jsonl --buckets 40 --ascii
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.trace.analysis import (  # noqa: E402
+    render_summary,
+    render_timeline,
+    summarize_trace,
+    timeline_buckets,
+)
+
+
+def _load_matplotlib():
+    """The plotting backend, or None when matplotlib is not installed."""
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")  # headless: never require a display
+        import matplotlib.pyplot as plt
+    except ImportError:
+        return None
+    return plt
+
+
+def plot_png(trace_path: Path, output: Path, *, buckets: int) -> bool:
+    """Write the two-panel PNG; False when matplotlib is unavailable."""
+    plt = _load_matplotlib()
+    if plt is None:
+        return False
+    summary = summarize_trace(trace_path)
+    rows = timeline_buckets(trace_path, buckets=buckets)
+
+    figure, (phases_ax, rate_ax) = plt.subplots(
+        2, 1, figsize=(10, 7), constrained_layout=True)
+    figure.suptitle(str(trace_path))
+
+    phases = summary.get("phases") or {}
+    names = list(phases)
+    seconds = [float(phases[name].get("seconds", 0.0)) for name in names]
+    phases_ax.barh(range(len(names)), seconds)
+    phases_ax.set_yticks(range(len(names)), names)
+    phases_ax.invert_yaxis()
+    phases_ax.set_xlabel("seconds")
+    phases_ax.set_title("time per phase")
+
+    centers = [(row["t0"] + row["t1"]) / 2 for row in rows]
+    rate_ax.plot(centers, [row["conflict_rate"] for row in rows],
+                 label="conflicts/s", marker="o", markersize=3)
+    rate_ax.plot(centers, [row["learned_rate"] for row in rows],
+                 label="learned/s", marker="s", markersize=3)
+    restart_times = [
+        (row["t0"] + row["t1"]) / 2 for row in rows if row["restarts"]
+    ]
+    for index, t in enumerate(restart_times):
+        rate_ax.axvline(t, color="grey", alpha=0.4, linewidth=0.8,
+                        label="restart" if index == 0 else None)
+    rate_ax.set_xlabel("trace seconds")
+    rate_ax.set_ylabel("events/s")
+    rate_ax.set_title("solver activity")
+    rate_ax.legend()
+
+    figure.savefig(output, dpi=120)
+    plt.close(figure)
+    return True
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help=".trace.jsonl file")
+    parser.add_argument("-o", "--output", default=None,
+                        help="PNG path (default: <trace>.png)")
+    parser.add_argument("--buckets", type=int, default=20,
+                        help="timeline slices (default 20)")
+    parser.add_argument("--ascii", action="store_true",
+                        help="force the ascii renderers even when "
+                             "matplotlib is available")
+    args = parser.parse_args(argv)
+
+    trace_path = Path(args.trace)
+    if not trace_path.exists():
+        print(f"plot_trace: no such trace: {trace_path}", file=sys.stderr)
+        return 2
+
+    if not args.ascii:
+        output = Path(args.output or trace_path.with_suffix(".png"))
+        if plot_png(trace_path, output, buckets=args.buckets):
+            print(f"plot written to {output}")
+            return 0
+        print("matplotlib not installed; falling back to ascii rendering",
+              file=sys.stderr)
+
+    print(render_summary(summarize_trace(trace_path)))
+    print()
+    print(render_timeline(trace_path, buckets=args.buckets))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
