@@ -10,6 +10,7 @@ matching the relative runtimes of Tables III/IV.
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Optional, Union
 
 from repro.attacks.results import AttackResult
@@ -32,6 +33,7 @@ def bmc_attack(
     key_batch: int = 8,
     engine: str = "packed",
     solver_backend: str = DEFAULT_BACKEND,
+    proof_dir: Optional[Union[str, Path]] = None,
 ) -> AttackResult:
     """Run the non-incremental unrolling attack (NEOS ``bbo`` equivalent).
 
@@ -55,4 +57,5 @@ def bmc_attack(
         key_batch=key_batch,
         engine=engine,
         solver_backend=solver_backend,
+        proof_dir=proof_dir,
     )

@@ -11,6 +11,7 @@
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Optional, Union
 
 from repro.attacks.results import AttackResult
@@ -33,6 +34,7 @@ def int_attack(
     key_batch: int = 8,
     engine: str = "packed",
     solver_backend: str = DEFAULT_BACKEND,
+    proof_dir: Optional[Union[str, Path]] = None,
 ) -> AttackResult:
     """Run the incremental unrolling attack (NEOS ``int`` equivalent).
 
@@ -56,6 +58,7 @@ def int_attack(
         key_batch=key_batch,
         engine=engine,
         solver_backend=solver_backend,
+        proof_dir=proof_dir,
     )
 
 
@@ -72,6 +75,7 @@ def kc2_attack(
     key_batch: int = 8,
     engine: str = "packed",
     solver_backend: str = DEFAULT_BACKEND,
+    proof_dir: Optional[Union[str, Path]] = None,
 ) -> AttackResult:
     """Run the key-condition-crunching attack (NEOS ``kc2`` equivalent).
 
@@ -93,4 +97,5 @@ def kc2_attack(
         key_batch=key_batch,
         engine=engine,
         solver_backend=solver_backend,
+        proof_dir=proof_dir,
     )

@@ -30,6 +30,7 @@ outcomes (TIMEOUT) can differ near the cap.
 from __future__ import annotations
 
 import time
+from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.attacks.results import AttackOutcome, AttackResult
@@ -170,6 +171,7 @@ def sat_attack(
     engine: str = "packed",
     solver_backend: str = DEFAULT_BACKEND,
     attack_name: str = "sat",
+    proof_dir: Optional[Union[str, Path]] = None,
 ) -> AttackResult:
     """Run the combinational oracle-guided SAT attack.
 
@@ -196,6 +198,11 @@ def sat_attack(
     solver_backend:
         Registry name of the session's solver backend (``"cdcl"`` or the
         arena-tuned ``"cdcl-arena"``; see :mod:`repro.sat.session`).
+    proof_dir:
+        Certified mode: directory where every UNSAT solver answer (blocked
+        DIP rounds, the convergence UNSAT, key extraction) is paired with a
+        DRUP certificate checkable by ``repro check proof`` (see
+        CHECKS.md); ``details["certificates"]`` counts the pairs written.
     """
     if engine not in ("packed", "scalar"):
         raise ValueError(f"unknown engine {engine!r} (expected 'packed' or 'scalar')")
@@ -232,7 +239,8 @@ def sat_attack(
 
     deadline = start + time_limit
     session = SolveSession(
-        solver_backend, conflict_limit=conflict_limit, deadline=deadline
+        solver_backend, conflict_limit=conflict_limit, deadline=deadline,
+        proof_path=proof_dir, proof_label=attack_name,
     )
     encoder = session.encoder
 
@@ -255,19 +263,23 @@ def sat_attack(
     )
 
     def finish(outcome: AttackOutcome, key: Optional[Dict[str, int]] = None, **details) -> AttackResult:
+        payload = {
+            "oracle_queries": oracle.queries,
+            "engine": engine,
+            "dip_rounds": dip_rounds,
+            "solver": session.telemetry.to_dict(),
+            **details,
+        }
+        if proof_dir is not None:
+            payload["certificates"] = len(session.certificates)
+            payload["proof_dir"] = str(proof_dir)
         return AttackResult(
             attack=attack_name,
             outcome=outcome,
             key=key,
             iterations=harvester.iterations,
             runtime_seconds=time.monotonic() - start,
-            details={
-                "oracle_queries": oracle.queries,
-                "engine": engine,
-                "dip_rounds": dip_rounds,
-                "solver": session.telemetry.to_dict(),
-                **details,
-            },
+            details=payload,
         )
 
     def add_dip_constraints(dip: Dict[str, int], response: Dict[str, int]) -> None:

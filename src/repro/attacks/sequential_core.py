@@ -48,6 +48,7 @@ outcomes (TIMEOUT) can differ near the cap.
 from __future__ import annotations
 
 import time
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.attacks.oracle import SequentialOracle
@@ -128,10 +129,12 @@ class _DepthAttackState:
         conflict_limit: Optional[int] = None,
         deadline: Optional[float] = None,
         telemetry: Optional[SolverTelemetry] = None,
+        proof_dir: Optional[Union[str, Path]] = None,
+        proof_label: str = "query",
     ) -> None:
         self.session = SolveSession(
             solver_backend, conflict_limit=conflict_limit, deadline=deadline,
-            telemetry=telemetry,
+            telemetry=telemetry, proof_path=proof_dir, proof_label=proof_label,
         )
         self.encoder = self.session.encoder
         self.depth = depth
@@ -234,6 +237,7 @@ def sequential_oracle_guided_attack(
     key_batch: int = 8,
     engine: str = "packed",
     solver_backend: str = DEFAULT_BACKEND,
+    proof_dir: Optional[Union[str, Path]] = None,
 ) -> AttackResult:
     """Run the shared sequential attack skeleton (see module docstring).
 
@@ -243,7 +247,10 @@ def sequential_oracle_guided_attack(
     extraction.  ``engine="scalar"`` forces both to 1 and keeps the original
     scalar-oracle, rebuild-per-depth reference path.  ``solver_backend``
     selects the CDCL backend every depth's session is built from; the
-    accumulated telemetry lands in ``details["solver"]``.
+    accumulated telemetry lands in ``details["solver"]``.  ``proof_dir``
+    arms certified mode: every depth's session writes a DRUP certificate
+    pair there for each UNSAT answer (``repro check proof`` replays them),
+    and the pair count lands in ``details["certificates"]``.
     """
     if engine not in ("packed", "scalar"):
         raise ValueError(f"unknown engine {engine!r} (expected 'packed' or 'scalar')")
@@ -276,14 +283,18 @@ def sequential_oracle_guided_attack(
     observations: List[Tuple[List[Dict[str, int]], List[Dict[str, int]]]] = []
     prefiltered_keys = 0
     telemetry = SolverTelemetry(backend=solver_backend)
+    sessions: List[SolveSession] = []  # every depth's session, for certificate counting
 
     def finish(outcome: AttackOutcome, key: Optional[Dict[str, int]] = None, **details) -> AttackResult:
+        payload = {"oracle_queries": oracle.queries, "engine": engine,
+                   "prefiltered_keys": prefiltered_keys,
+                   "solver": telemetry.to_dict(), **details}
+        if proof_dir is not None:
+            payload["certificates"] = sum(len(s.certificates) for s in sessions)
+            payload["proof_dir"] = str(proof_dir)
         return AttackResult(
             attack=attack_name, outcome=outcome, key=key, iterations=total_iterations,
-            runtime_seconds=time.monotonic() - start,
-            details={"oracle_queries": oracle.queries, "engine": engine,
-                     "prefiltered_keys": prefiltered_keys,
-                     "solver": telemetry.to_dict(), **details},
+            runtime_seconds=time.monotonic() - start, details=payload,
         )
 
     def verify(candidate: Dict[str, int]) -> bool:
@@ -302,11 +313,14 @@ def sequential_oracle_guided_attack(
         )
 
     def new_state(depth: int) -> _DepthAttackState:
-        return _DepthAttackState(
+        state = _DepthAttackState(
             locked_circuit, shared_outputs, depth,
             solver_backend=solver_backend, conflict_limit=conflict_limit,
             deadline=deadline, telemetry=telemetry,
+            proof_dir=proof_dir, proof_label=f"{attack_name}-d{depth:02d}",
         )
+        sessions.append(state.session)
+        return state
 
     depth = initial_depth
     state = new_state(depth)

@@ -1,14 +1,14 @@
-"""Static analysis and state sanitizers for the repo's unchecked invariants.
+"""Static analysis, state sanitizers and certificates for unchecked invariants.
 
-Three analyzers, one per invariant the test suite cannot enforce globally
+Four analyzers, one per invariant the test suite cannot enforce globally
 (documented in ``CHECKS.md``, driven by ``python -m repro check``):
 
-* :mod:`repro.check.lint` — an AST linter over ``src/`` with repo-specific
-  rules: no wall-clock / unseeded-random calls in byte-identity-critical
-  modules, no raw ``json.loads``-per-line loops outside
-  :mod:`repro.jsonutil`, no tracing or allocation-heavy calls inside loops
-  marked ``# hot-loop``, and ``to_dict``/``from_dict`` round-trip
-  completeness.
+* :mod:`repro.check.lint` — an AST linter over ``src/``, ``tests/`` and
+  ``benchmarks/`` with repo-specific rules: no wall-clock / unseeded-random
+  calls in byte-identity-critical modules, no raw ``json.loads``-per-line
+  loops outside :mod:`repro.jsonutil`, no tracing or allocation-heavy calls
+  inside loops marked ``# hot-loop``, ``to_dict``/``from_dict`` round-trip
+  completeness, and no silently-swallowed broad exception handlers.
 * :mod:`repro.check.program` — a verifier proving every exec-generated
   engine kernel is a straight-line, levelized, bitwise-only program before
   it is executed (always-on in the tests; opt-in at runtime via
@@ -17,8 +17,27 @@ Three analyzers, one per invariant the test suite cannot enforce globally
   sanitizers (watch lists, trail/level consistency, implication-graph
   acyclicity) for both session backends, run at decision points under
   ``REPRO_CHECK_SOLVER=1``.
+* :mod:`repro.check.certify` — machine-checkable certificates: DRUP proof
+  logging for every UNSAT solver answer, an independent RUP proof checker
+  that shares no code with the solvers, and SAT-based translation
+  validation of the packed-kernel compiler
+  (:mod:`repro.check.certify.equiv`, imported lazily — it pulls in the
+  engine stack).
 """
 
+from repro.check.certify import (
+    DimacsError,
+    DimacsFile,
+    ProofError,
+    ProofLogger,
+    ProofStats,
+    RupChecker,
+    check_certificate,
+    check_proof_lines,
+    load_dimacs,
+    parse_dimacs,
+    write_certificate,
+)
 from repro.check.lint import (
     ALLOWLIST,
     Finding,
@@ -43,6 +62,17 @@ from repro.check.solver import (
 )
 
 __all__ = [
+    "DimacsError",
+    "DimacsFile",
+    "ProofError",
+    "ProofLogger",
+    "ProofStats",
+    "RupChecker",
+    "check_certificate",
+    "check_proof_lines",
+    "load_dimacs",
+    "parse_dimacs",
+    "write_certificate",
     "ALLOWLIST",
     "Finding",
     "RULES",

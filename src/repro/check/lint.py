@@ -20,6 +20,10 @@ R004   hot-loop-call         no tracing (``trace_event`` / ``.emit``) or
                              marked ``# hot-loop``
 R005   to-dict-roundtrip     every class with ``to_dict`` has a ``from_dict``
                              reading every literal key ``to_dict`` writes
+R006   except-swallow        no bare ``except:``, and no ``except Exception``
+                             (or ``BaseException``) whose body only ``pass``es
+                             — swallowed failures corrupt campaign results
+                             silently
 ====== ===================== =====================================================
 
 Suppression: append ``# repro-lint: disable=R001`` (comma-separated IDs, or
@@ -59,6 +63,10 @@ RULES: Dict[str, Tuple[str, str]] = {
     "R005": (
         "to-dict-roundtrip",
         "to_dict without a from_dict covering the same keys",
+    ),
+    "R006": (
+        "except-swallow",
+        "bare except, or except Exception whose body only passes",
     ),
 }
 
@@ -373,6 +381,38 @@ class _Linter(ast.NodeVisitor):
                     node, "R004",
                     f"call to {name}() inside a # hot-loop; hoist it out of "
                     "the loop or gate it behind the conflict/restart branch",
+                )
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------ exceptions
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self._report(
+                node, "R006",
+                "bare except catches everything including KeyboardInterrupt/"
+                "SystemExit; name the exception types you expect",
+            )
+        else:
+            caught = [node.type]
+            if isinstance(node.type, ast.Tuple):
+                caught = list(node.type.elts)
+            broad = any(
+                isinstance(item, ast.Name)
+                and item.id in ("Exception", "BaseException")
+                for item in caught
+            )
+            swallows = all(
+                isinstance(stmt, ast.Pass)
+                or (isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant))
+                for stmt in node.body
+            )
+            if broad and swallows:
+                self._report(
+                    node, "R006",
+                    "except Exception with a pass-only body swallows every "
+                    "failure silently; narrow the type, or at least record "
+                    "why discarding is safe and re-raise what you can't "
+                    "handle",
                 )
         self.generic_visit(node)
 

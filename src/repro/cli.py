@@ -20,10 +20,13 @@ Python:
 * ``trace``     — analyse structured event traces recorded with ``attack
   --trace`` / ``campaign run --trace`` (``trace summary|timeline|diff``,
   see :mod:`repro.trace` and ``TRACE_FORMAT.md``).
-* ``check``     — static checks over the repo's unchecked invariants
-  (``check lint|program|cnf``, see :mod:`repro.check` and ``CHECKS.md``):
-  the repo-specific AST linter, the generated-kernel verifier and the CNF
-  well-formedness checker.  Exit 0 clean, 1 findings, 2 error.
+* ``check``     — static checks and certificates over the repo's unchecked
+  invariants (``check lint|program|cnf|proof|equiv``, see
+  :mod:`repro.check` and ``CHECKS.md``): the repo-specific AST linter, the
+  generated-kernel verifier, the CNF well-formedness checker, the
+  independent DRUP proof checker (replaying ``attack --certify``
+  certificates) and SAT-based translation validation of the packed-kernel
+  compiler.  Exit 0 clean, 1 findings, 2 error.
 * ``perf``      — continuous performance observability (``perf
   run|list|history|compare|gate``, see :mod:`repro.perf` and
   ``PERF_FORMAT.md``): run the registered benchmark suites, append to the
@@ -146,6 +149,14 @@ def _cmd_attack(args: argparse.Namespace) -> int:
               file=sys.stderr)
     if "solver_backend" in parameters:
         kwargs["solver_backend"] = args.solver_backend
+    certify_dir: Optional[Path] = None
+    if args.certify:
+        if "proof_dir" in parameters:
+            certify_dir = Path(args.certify)
+            kwargs["proof_dir"] = certify_dir
+        else:
+            print(f"note: {args.attack} has no certified mode; --certify ignored",
+                  file=sys.stderr)
     trace_path: Optional[Path] = None
     if args.trace:
         # Name by attack + backend so the cdcl and cdcl-arena traces of the
@@ -186,6 +197,10 @@ def _cmd_attack(args: argparse.Namespace) -> int:
     print(result.summary())
     if trace_path is not None:
         print(f"trace written to {trace_path}")
+    if certify_dir is not None:
+        count = result.details.get("certificates", 0)
+        print(f"{count} UNSAT certificate pair(s) in {certify_dir} "
+              f"(verify with `repro check proof CNF PROOF`)")
     if args.json:
         payload = result.to_dict()
         if trace_path is not None:
@@ -463,39 +478,90 @@ def _cmd_check(args: argparse.Namespace) -> int:
         return 0
 
     if args.command_check == "cnf":
+        from repro.check.certify.dimacs import DimacsError, load_dimacs
         from repro.check.solver import check_cnf
 
-        # Lenient DIMACS parse: unlike CNF.from_dimacs (whose add_clause
-        # rejects zero literals outright), this keeps malformed clauses so
-        # the checker can name each violation.
+        # Standard multi-line DIMACS parse (clauses are 0-terminated token
+        # streams), so external instances read the same way drat-trim and
+        # the competition solvers read them; malformed *clauses* survive
+        # parsing and the checker names each violation.
         try:
-            text = Path(args.cnf).read_text()
+            dimacs = load_dimacs(args.cnf)
         except OSError as exc:
             print(f"check cnf: {exc}", file=sys.stderr)
             return 2
-        clauses = []
-        num_vars = None
-        for raw in text.splitlines():
-            line = raw.strip()
-            if not line or line.startswith(("c", "%")):
-                continue
-            if line.startswith("p"):
-                parts = line.split()
-                if len(parts) >= 3:
-                    num_vars = int(parts[2])
-                continue
-            literals = [int(token) for token in line.split()]
-            if literals and literals[-1] == 0:
-                literals = literals[:-1]
-            clauses.append(tuple(literals))
-        violations = check_cnf(clauses, num_vars=num_vars)
+        except DimacsError as exc:
+            print(f"check cnf: {exc}", file=sys.stderr)
+            return 2
+        violations = check_cnf(dimacs.clauses, num_vars=dimacs.header_vars)
         if violations:
             for violation in violations:
                 print(violation.render())
             print(f"{len(violations)} violation(s) in {args.cnf}")
             return 1
-        print(f"check cnf: {args.cnf}: {len(clauses)} clauses ok")
+        print(f"check cnf: {args.cnf}: {len(dimacs.clauses)} clauses ok")
         return 0
+
+    if args.command_check == "proof":
+        from repro.check.certify.dimacs import DimacsError
+        from repro.check.certify.drup import ProofError, check_certificate
+
+        try:
+            stats = check_certificate(args.cnf, args.proof)
+        except (OSError, DimacsError) as exc:
+            print(f"check proof: {exc}", file=sys.stderr)
+            return 2
+        except ProofError as exc:
+            print(f"check proof: {exc}", file=sys.stderr)
+            return 1
+        print(f"check proof: {args.proof}: UNSAT verified ({stats.render()})")
+        return 0
+
+    if args.command_check == "equiv":
+        from repro.check.certify.equiv import (
+            fixture_names,
+            load_fixture,
+            validate_circuit,
+        )
+        from repro.check.program import KernelVerificationError
+        from repro.netlist.circuit import CircuitError
+
+        if args.all_fixtures:
+            names = fixture_names()
+        elif args.circuit:
+            names = [args.circuit]
+        else:
+            print("check equiv: pass --circuit NAME|PATH or --all-fixtures",
+                  file=sys.stderr)
+            return 2
+        diverged = 0
+        for name in names:
+            try:
+                if not args.all_fixtures and Path(name).exists():
+                    circuit = load_bench(name)
+                else:
+                    circuit = load_fixture(name)
+                report = validate_circuit(
+                    circuit,
+                    backend=args.solver_backend,
+                    proof_dir=args.proof_dir,
+                    check_proofs=not args.skip_proofs,
+                )
+            except KeyError as exc:
+                print(f"check equiv: {exc.args[0]}", file=sys.stderr)
+                return 2
+            except KernelVerificationError as exc:
+                # The kernel is not even structurally valid: that is a
+                # finding about the compiled program, not an analysis error.
+                print(f"check equiv: {exc}", file=sys.stderr)
+                return 1
+            except (OSError, CircuitError) as exc:
+                print(f"check equiv: {type(exc).__name__}: {exc}", file=sys.stderr)
+                return 2
+            print(report.render(), flush=True)
+            if not report.ok:
+                diverged += 1
+        return 1 if diverged else 0
 
     raise SystemExit(f"unknown check command {args.command_check!r}")
 
@@ -704,6 +770,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="skip the strict structural validation of the "
                              "locked and oracle netlists (escape hatch for "
                              "deliberately malformed inputs)")
+    attack.add_argument("--certify", default=None, metavar="DIR",
+                        help="certified mode: log DRUP proofs and write a "
+                             "CNF+proof certificate pair into DIR for every "
+                             "UNSAT solver answer (verify each with "
+                             "'repro check proof', see CHECKS.md)")
     attack.set_defaults(func=_cmd_attack)
 
     overhead = sub.add_parser("overhead", help="report 45nm-model cost of a netlist")
@@ -894,19 +965,20 @@ def build_parser() -> argparse.ArgumentParser:
     trace_diff.set_defaults(func=_cmd_trace)
 
     check = sub.add_parser(
-        "check", help="static checks: repo lint, kernel verifier, CNF audit",
-        description="Static analysis over the repo's unchecked invariants "
-                    "(rule catalogue: CHECKS.md).  Exit 0 = clean, "
-                    "1 = findings, 2 = analysis error.")
+        "check", help="static checks: lint, kernel verifier, CNF/proof audit",
+        description="Static analysis and certificates over the repo's "
+                    "unchecked invariants (rule catalogue: CHECKS.md).  "
+                    "Exit 0 = clean, 1 = findings, 2 = analysis error.")
     check_sub = check.add_subparsers(dest="command_check", required=True)
 
     check_lint = check_sub.add_parser(
         "lint", help="run the repo-specific AST linter",
-        description="AST lint with repo-specific rules (R001-R005: "
+        description="AST lint with repo-specific rules (R001-R006: "
                     "wall-clock/unseeded-random in byte-identity-critical "
                     "modules, raw JSONL loops, # hot-loop call discipline, "
-                    "to_dict/from_dict completeness).  Suppress per line "
-                    "with '# repro-lint: disable=RULE'.")
+                    "to_dict/from_dict completeness, silent exception "
+                    "swallowing).  Suppress per line with "
+                    "'# repro-lint: disable=RULE'.")
     check_lint.add_argument("paths", nargs="*",
                             help="files or directories (default: src)")
     check_lint.add_argument("--json", nargs="?", const="-", default=None,
@@ -926,10 +998,52 @@ def build_parser() -> argparse.ArgumentParser:
 
     check_cnf_p = check_sub.add_parser(
         "cnf", help="audit a DIMACS CNF file for well-formedness",
-        description="Reports zero literals, out-of-range variables, "
-                    "duplicate literals, tautologies and empty clauses.")
+        description="Reads standard DIMACS (clauses may span lines) and "
+                    "reports out-of-range variables, duplicate literals, "
+                    "tautologies and empty clauses.")
     check_cnf_p.add_argument("cnf", help="DIMACS .cnf file")
     check_cnf_p.set_defaults(func=_cmd_check)
+
+    check_proof_p = check_sub.add_parser(
+        "proof", help="replay a DRUP proof with the independent checker",
+        description="Replays a DRUP proof against the original CNF with an "
+                    "independent watched-literal unit propagator (no code "
+                    "shared with the solvers): every clause addition must "
+                    "be derivable by reverse unit propagation and the proof "
+                    "must end in the empty clause.  Certificate pairs come "
+                    "from 'repro attack --certify DIR' or any "
+                    "SolveSession(proof_path=...).  Exit 0 = verified, "
+                    "1 = proof rejected (line-numbered reason), 2 = "
+                    "unreadable input.")
+    check_proof_p.add_argument("cnf", help="DIMACS .cnf file the proof refutes")
+    check_proof_p.add_argument("proof", help="DRUP proof file (.drup)")
+    check_proof_p.set_defaults(func=_cmd_check)
+
+    check_equiv_p = check_sub.add_parser(
+        "equiv", help="translation validation: packed kernels vs netlist",
+        description="Proves the compiler's generated kernel source "
+                    "equivalent to the netlist semantics: both are encoded "
+                    "to CNF and every output / next-state bit's miter is "
+                    "proven UNSAT (a SAT miter prints a counterexample "
+                    "assignment).  Miter proofs are themselves DRUP-checked "
+                    "unless --skip-proofs.  Exit 0 = equivalent, 1 = any "
+                    "bit diverges, 2 = error.")
+    check_equiv_p.add_argument("--circuit", default=None, metavar="NAME|PATH",
+                               help="a bundled fixture name (see 'repro "
+                                    "benchmarks') or a .bench file path")
+    check_equiv_p.add_argument("--all-fixtures", action="store_true",
+                               help="validate every bundled ISCAS'89 + "
+                                    "ITC'99 fixture")
+    check_equiv_p.add_argument("--solver-backend", default="cdcl",
+                               choices=list(solver_backends()),
+                               help="backend that solves the miters")
+    check_equiv_p.add_argument("--proof-dir", default=None, metavar="DIR",
+                               help="keep the miter certificate pairs here "
+                                    "(default: a temporary directory)")
+    check_equiv_p.add_argument("--skip-proofs", action="store_true",
+                               help="skip re-checking the miter UNSAT "
+                                    "proofs with the independent checker")
+    check_equiv_p.set_defaults(func=_cmd_check)
 
     perf = sub.add_parser(
         "perf", help="run/compare/gate the registered performance benchmarks",

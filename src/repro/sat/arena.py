@@ -66,6 +66,9 @@ class ArenaSolver:
         # inside the inlined propagation loop.
         self.trace = None
         self.trace_stride = 1
+        # Optional DRUP proof hook (see repro.check.certify), mirrored from
+        # the reference solver: one attribute test per conflict when off.
+        self.proof = None
         # Debug sanitizer (see repro.check.solver), mirrored from the
         # reference solver: audited at decision points only, one attribute
         # test per decision when off.
@@ -440,6 +443,10 @@ class ArenaSolver:
                     self._backtrack(0)
                     return False
                 learned, back_level = self._analyze(conflict)
+                if self.proof is not None:
+                    # Mirrors the reference solver: every learned clause is a
+                    # DRUP addition the independent checker re-derives.
+                    self.proof.learned(learned)
                 if self.trace is not None and (
                     self.stats.conflicts % self.trace_stride == 0
                 ):

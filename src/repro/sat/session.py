@@ -28,7 +28,8 @@ import itertools
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.sat.arena import ArenaSolver
 from repro.sat.solver import Solver
@@ -225,6 +226,18 @@ class SolveSession:
         Optional shared :class:`SolverTelemetry` accumulator — pass the same
         object to several sessions (e.g. RANE's synthesis + verification
         sides) to aggregate one attack-wide block.
+    proof_path:
+        Directory to write UNSAT certificates into (created if missing).
+        When set, the backend solver logs DRUP steps into a
+        :class:`repro.check.certify.proof.ProofLogger` and every UNSAT
+        answer is paired with a ``<label>-sNNN-qNNNN.cnf`` /
+        ``<label>-sNNN-qNNNN.drup`` certificate checkable by
+        ``repro check proof``; the pairs accumulate in
+        :attr:`certificates`.  Disarmed (the default) this costs the
+        backends one ``is not None`` test per *conflict* — the same
+        zero-cost pattern as the trace hooks.
+    proof_label:
+        Filename stem for certificates written by this session.
     """
 
     def __init__(
@@ -235,6 +248,8 @@ class SolveSession:
         conflict_limit: Optional[int] = None,
         deadline: Optional[float] = None,
         telemetry: Optional[SolverTelemetry] = None,
+        proof_path: Optional[Union[str, Path]] = None,
+        proof_label: str = "query",
     ) -> None:
         self.backend = backend
         self.encoder = encoder if encoder is not None else TseitinEncoder()
@@ -253,6 +268,19 @@ class SolveSession:
         self.tracer = active_tracer()
         self._session_id = next(_SESSION_IDS)
         self._calls = 0
+        # DRUP certification (repro.check.certify): lazily imported so the
+        # plain solving path never loads the check package.
+        self.proof_dir: Optional[Path] = None
+        self.proof_label = proof_label
+        self.certificates: List[Tuple[str, str]] = []
+        self._proof = None
+        if proof_path is not None:
+            from repro.check.certify.proof import ProofLogger
+
+            self.proof_dir = Path(proof_path)
+            self.proof_dir.mkdir(parents=True, exist_ok=True)
+            self._proof = ProofLogger()
+            self._attach_proof()
         if self.tracer is not None:
             self.tracer.emit(
                 "session", backend=backend, session=self._session_id
@@ -270,6 +298,17 @@ class SolveSession:
         except AttributeError:
             # Third-party backends without trace hooks still solve fine;
             # they just emit no conflict/restart events.
+            pass
+
+    def _attach_proof(self) -> None:
+        """Point the backend solver's proof hook at the session's logger."""
+        if self._proof is None:
+            return
+        try:
+            self.solver.proof = self._proof
+        except AttributeError:
+            # Third-party backends without proof hooks still solve fine;
+            # their UNSAT answers just come without certificates.
             pass
 
     # ------------------------------------------------------------- budgets
@@ -300,6 +339,11 @@ class SolveSession:
         self.solver = create_solver(self.backend)
         self._synced = 0
         self._attach_trace()
+        if self._proof is not None:
+            # The fresh solver has no learned clauses, so the replay starts
+            # over from the original formula.
+            self._proof.reset()
+            self._attach_proof()
 
     # -------------------------------------------------------------- queries
     def solve(
@@ -368,6 +412,8 @@ class SolveSession:
                 learned=deltas["learned_clauses"],
                 restarts=deltas["restarts"],
             )
+        if answer is False and self._proof is not None:
+            self._write_certificate(list(assumptions or ()))
         self.telemetry.note_call(deltas, answer=answer, seconds=seconds, phase=phase)
         for frame in _CAPTURE_FRAMES:
             if not frame.backend:
@@ -376,6 +422,43 @@ class SolveSession:
                 frame.backend = "mixed"
             frame.note_call(deltas, answer=answer, seconds=seconds, phase=phase)
         return answer
+
+    # --------------------------------------------------------- certification
+    def _write_certificate(self, assumptions: List[int]) -> None:
+        """Pair the UNSAT answer just returned with an on-disk certificate.
+
+        The certificate CNF is the clause set the solver has actually seen
+        (everything synced so far) with this query's assumptions appended
+        as unit clauses; the DRUP file is every step the solver logged
+        since its last reset.  Both are exactly what
+        ``repro check proof CNF PROOF`` replays.
+        """
+        from repro.check.certify.proof import write_certificate
+
+        stem = f"{self.proof_label}-s{self._session_id:03d}-q{self._calls:04d}"
+        assert self.proof_dir is not None
+        cnf_path = self.proof_dir / f"{stem}.cnf"
+        proof_path = self.proof_dir / f"{stem}.drup"
+        clauses = self.encoder.cnf.clauses[: self._synced]
+        num_vars = self.encoder.cnf.num_vars
+        write_certificate(
+            cnf_path,
+            proof_path,
+            clauses,
+            num_vars,
+            assumptions=assumptions,
+            steps=self._proof.steps,
+        )
+        self.certificates.append((str(cnf_path), str(proof_path)))
+        if self.tracer is not None:
+            self.tracer.emit(
+                "certificate",
+                session=self._session_id,
+                call=self._calls,
+                cnf=str(cnf_path),
+                proof=str(proof_path),
+                steps=len(self._proof.steps),
+            )
 
     # --------------------------------------------------------------- models
     def model(self) -> Dict[int, int]:

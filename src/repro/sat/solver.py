@@ -87,6 +87,11 @@ class Solver:
         # tracing-off cost is one attribute test per conflict.
         self.trace = None
         self.trace_stride = 1
+        # Optional DRUP proof hook (see repro.check.certify): a ProofLogger
+        # recording learned/deleted clauses so UNSAT answers are checkable
+        # by an independent replayer.  Same cost model as tracing: one
+        # attribute test per conflict when off.
+        self.proof = None
         # Debug sanitizer (see repro.check.solver): audit watch lists, trail
         # and implication graph at every decision point.  Same cost model as
         # tracing: one attribute test per decision when off.
@@ -404,6 +409,10 @@ class Solver:
                     self._backtrack(0)
                     return False
                 learned, back_level = self._analyze(conflict)
+                if self.proof is not None:
+                    # Learned clauses are RUP over the database that produced
+                    # the conflict, which is what the DRUP checker replays.
+                    self.proof.learned(learned)
                 if self.trace is not None and (
                     self.stats.conflicts % self.trace_stride == 0
                 ):

@@ -112,20 +112,112 @@ class TestCheckCnfCli:
         assert cli_main(["check", "cnf", str(path)]) == 0
         assert "2 clauses ok" in capsys.readouterr().out
 
+    def test_multiline_clauses_parse(self, tmp_path, capsys):
+        # Standard DIMACS: clauses are 0-terminated token streams that may
+        # span lines or share one.
+        path = tmp_path / "folded.cnf"
+        path.write_text("p cnf 3 2\n1 2\n3 0 -1\n-2 0\n")
+        assert cli_main(["check", "cnf", str(path)]) == 0
+        assert "2 clauses ok" in capsys.readouterr().out
+
     def test_malformed_dimacs_exits_1_with_kinds(self, tmp_path, capsys):
         path = tmp_path / "bad.cnf"
-        # Zero literal mid-clause, a variable above the header bound, and a
+        # An empty clause, a variable above the header bound, and a
         # tautology: three distinct violation kinds.
-        path.write_text("p cnf 3 3\n1 0 2 0\n4 -1 0\n2 -2 0\n")
+        path.write_text("p cnf 3 3\n0\n4 -1 0\n2 -2 0\n")
         assert cli_main(["check", "cnf", str(path)]) == 1
         out = capsys.readouterr().out
-        assert "[zero-literal]" in out
+        assert "[empty-clause]" in out
         assert "[out-of-range]" in out
         assert "[tautology]" in out
         assert "3 violation(s)" in out
 
+    def test_unparseable_dimacs_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "garbage.cnf"
+        path.write_text("p cnf x y\n1 0\n")
+        assert cli_main(["check", "cnf", str(path)]) == 2
+        assert "check cnf" in capsys.readouterr().err
+
     def test_missing_file_exits_2(self, tmp_path):
         assert cli_main(["check", "cnf", str(tmp_path / "nope.cnf")]) == 2
+
+
+# --------------------------------------------------------------------- #
+# repro check proof
+# --------------------------------------------------------------------- #
+class TestCheckProofCli:
+    def _write_pair(self, tmp_path):
+        cnf = tmp_path / "inst.cnf"
+        proof = tmp_path / "inst.drup"
+        # (a|b) & (a|-b) & (-a|b) & (-a|-b): the canonical 2-var UNSAT core.
+        cnf.write_text("p cnf 2 4\n1 2 0\n1 -2 0\n-1 2 0\n-1 -2 0\n")
+        proof.write_text("1 0\n0\n")
+        return cnf, proof
+
+    def test_valid_proof_exits_0(self, tmp_path, capsys):
+        cnf, proof = self._write_pair(tmp_path)
+        assert cli_main(["check", "proof", str(cnf), str(proof)]) == 0
+        out = capsys.readouterr().out
+        assert "UNSAT verified" in out
+
+    def test_bogus_proof_exits_1_with_line(self, tmp_path, capsys):
+        cnf, proof = self._write_pair(tmp_path)
+        # A unit over a fresh variable: propagation never reaches a conflict.
+        proof.write_text("3 0\n0\n")
+        assert cli_main(["check", "proof", str(cnf), str(proof)]) == 1
+        err = capsys.readouterr().err
+        assert "not RUP" in err and ".drup:1" in err
+
+    def test_truncated_proof_exits_1(self, tmp_path, capsys):
+        cnf, proof = self._write_pair(tmp_path)
+        proof.write_text("1 0\n")
+        assert cli_main(["check", "proof", str(cnf), str(proof)]) == 1
+        assert "without deriving the empty clause" in capsys.readouterr().err
+
+    def test_missing_file_exits_2(self, tmp_path):
+        cnf, proof = self._write_pair(tmp_path)
+        assert cli_main(["check", "proof", str(cnf), str(tmp_path / "no.drup")]) == 2
+
+
+# --------------------------------------------------------------------- #
+# repro check equiv
+# --------------------------------------------------------------------- #
+class TestCheckEquivCli:
+    def test_fixture_by_name(self, capsys):
+        assert cli_main(["check", "equiv", "--circuit", "s27"]) == 0
+        out = capsys.readouterr().out
+        assert "kernel == netlist" in out and "proof(s) re-checked" in out
+
+    def test_bench_path(self, bench_pair, capsys):
+        original_path, _locked = bench_pair
+        assert cli_main(["check", "equiv", "--circuit", str(original_path)]) == 0
+        assert "kernel == netlist" in capsys.readouterr().out
+
+    def test_unknown_fixture_exits_2(self, capsys):
+        assert cli_main(["check", "equiv", "--circuit", "nope999"]) == 2
+        assert "unknown fixture" in capsys.readouterr().err
+
+
+# --------------------------------------------------------------------- #
+# repro attack --certify
+# --------------------------------------------------------------------- #
+class TestAttackCertify:
+    def test_sat_attack_emits_checkable_pairs(self, bench_pair, tmp_path, capsys):
+        original_path, locked_path = bench_pair
+        proof_dir = tmp_path / "proofs"
+        code = cli_main([
+            "attack", str(locked_path), str(original_path),
+            "--attack", "sat", "--certify", str(proof_dir),
+        ])
+        assert code in (0, 1)
+        out = capsys.readouterr().out
+        assert "certificate pair(s)" in out
+        drups = sorted(proof_dir.glob("*.drup"))
+        assert drups, "certified sat attack wrote no proof"
+        for drup in drups:
+            cnf = drup.with_suffix(".cnf")
+            assert cnf.exists()
+            assert cli_main(["check", "proof", str(cnf), str(drup)]) == 0
 
 
 # --------------------------------------------------------------------- #

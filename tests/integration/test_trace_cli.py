@@ -62,7 +62,7 @@ class TestTracedAttackCli:
             out = capsys.readouterr().out
             assert f"trace written to {paths[backend]}" in out
             # The --json payload points at the trace file.
-            payload = json.loads(json_path.read_text())
+            payload = json.loads(json_path.read_text())  # repro-lint: disable=R003 (whole --json document, not JSONL)
             assert payload["trace"] == str(paths[backend])
             # The trace itself is real: header, session binding, solve
             # markers and at least one attack round marker.

@@ -235,6 +235,75 @@ def test_r005_dynamic_from_dict_tolerated():
 
 
 # --------------------------------------------------------------------- #
+# R006 except-swallow
+# --------------------------------------------------------------------- #
+def test_r006_bare_except():
+    source = (
+        "try:\n"
+        "    work()\n"
+        "except:\n"
+        "    recover()\n"
+    )
+    findings = lint_source(source, path="anywhere.py")
+    assert rules_of(findings) == ["R006"]
+    assert "bare except" in findings[0].message
+    assert findings[0].line == 3
+
+
+def test_r006_broad_except_pass_body():
+    source = (
+        "try:\n"
+        "    work()\n"
+        "except Exception:\n"
+        "    pass\n"
+    )
+    findings = lint_source(source, path="anywhere.py")
+    assert rules_of(findings) == ["R006"]
+    assert "swallows" in findings[0].message
+
+
+def test_r006_base_exception_in_tuple():
+    source = (
+        "try:\n"
+        "    work()\n"
+        "except (ValueError, BaseException):\n"
+        "    ...\n"
+    )
+    assert rules_of(lint_source(source, path="anywhere.py")) == ["R006"]
+
+
+def test_r006_broad_except_with_handling_allowed():
+    source = (
+        "try:\n"
+        "    work()\n"
+        "except Exception as exc:\n"
+        "    log(exc)\n"
+        "    raise\n"
+    )
+    assert lint_source(source, path="anywhere.py") == []
+
+
+def test_r006_narrow_except_pass_allowed():
+    source = (
+        "try:\n"
+        "    work()\n"
+        "except (OSError, KeyError):\n"
+        "    pass\n"
+    )
+    assert lint_source(source, path="anywhere.py") == []
+
+
+def test_r006_inline_suppression():
+    source = (
+        "try:\n"
+        "    work()\n"
+        "except Exception:  # repro-lint: disable=R006 (best-effort cleanup)\n"
+        "    pass\n"
+    )
+    assert lint_source(source, path="anywhere.py") == []
+
+
+# --------------------------------------------------------------------- #
 # suppressions and the allowlist
 # --------------------------------------------------------------------- #
 def test_inline_suppression():
@@ -333,4 +402,4 @@ def test_shipped_tree_is_lint_clean():
 
 
 def test_rule_catalogue_is_stable():
-    assert sorted(RULES) == ["R001", "R002", "R003", "R004", "R005"]
+    assert sorted(RULES) == ["R001", "R002", "R003", "R004", "R005", "R006"]
