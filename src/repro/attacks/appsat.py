@@ -27,7 +27,7 @@ from repro.attacks.sat_attack import (
     _as_locked_pair,
 )
 from repro.engine.batch_oracle import BatchedCombinationalOracle
-from repro.engine.packed import PackedSimulator
+from repro.engine.packed import PackedSimulator, parse_engine
 from repro.locking.base import LockedCircuit
 from repro.netlist.circuit import Circuit
 from repro.sat.session import DEFAULT_BACKEND, SolveSession
@@ -65,11 +65,9 @@ def appsat_attack(
     restores the one-DIP-per-solver-call reference path), and
     ``solver_backend`` selects the session's solver backend.
     """
-    if engine not in ("packed", "scalar"):
-        raise ValueError(f"unknown engine {engine!r} (expected 'packed' or 'scalar')")
+    batched, backend = parse_engine(engine)
     if dip_batch < 1:
         raise ValueError("dip_batch must be at least 1")
-    batched = engine == "packed"
     if not batched:
         dip_batch = 1
 
@@ -82,8 +80,8 @@ def appsat_attack(
                             details={"reason": "circuit has no key inputs"})
 
     locked_view = locked_circuit.combinational_view() if locked_circuit.dffs else locked_circuit
-    oracle = BatchedCombinationalOracle(original)
-    locked_sim = PackedSimulator(locked_view)
+    oracle = BatchedCombinationalOracle(original, backend=backend)
+    locked_sim = PackedSimulator(locked_view, backend=backend)
 
     key_nets = list(locked_view.key_inputs)
     functional_nets = [n for n in locked_view.inputs if n not in set(key_nets)]

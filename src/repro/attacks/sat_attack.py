@@ -35,6 +35,7 @@ from typing import Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.attacks.results import AttackOutcome, AttackResult
 from repro.engine.batch_oracle import BatchedCombinationalOracle
+from repro.engine.packed import parse_engine
 from repro.locking.base import LockedCircuit
 from repro.netlist.circuit import Circuit, CircuitError
 from repro.sat.session import DEFAULT_BACKEND, SolveSession
@@ -192,9 +193,12 @@ def sat_attack(
         Upper bound on DIPs harvested per round before a single batched
         oracle query answers them all (see the module docstring).
     engine:
-        ``"packed"`` (default) enables batched DIP harvesting;
-        ``"scalar"`` forces ``dip_batch=1`` and keeps the original
-        one-DIP-per-solver-call reference path.
+        ``"packed"`` (default) enables batched DIP harvesting with the
+        auto-selected packed backend; ``"packed-bigint"`` /
+        ``"packed-numpy"`` pin the packed engine's evaluation backend (see
+        :data:`repro.engine.packed.ENGINE_CHOICES`); ``"scalar"`` forces
+        ``dip_batch=1`` and keeps the original one-DIP-per-solver-call
+        reference path.
     solver_backend:
         Registry name of the session's solver backend (``"cdcl"`` or the
         arena-tuned ``"cdcl-arena"``; see :mod:`repro.sat.session`).
@@ -204,11 +208,9 @@ def sat_attack(
         DRUP certificate checkable by ``repro check proof`` (see
         CHECKS.md); ``details["certificates"]`` counts the pairs written.
     """
-    if engine not in ("packed", "scalar"):
-        raise ValueError(f"unknown engine {engine!r} (expected 'packed' or 'scalar')")
+    batched, backend = parse_engine(engine)
     if dip_batch < 1:
         raise ValueError("dip_batch must be at least 1")
-    batched = engine == "packed"
     if not batched:
         dip_batch = 1
 
@@ -225,7 +227,7 @@ def sat_attack(
     locked_view = locked_circuit.combinational_view() if locked_circuit.dffs else locked_circuit
     # Batched oracle: DIP queries are inherently one-at-a-time, but the final
     # key verification and any sampling ride the packed engine for free.
-    oracle = BatchedCombinationalOracle(original)
+    oracle = BatchedCombinationalOracle(original, backend=backend)
 
     key_nets = list(locked_view.key_inputs)
     functional_nets = [n for n in locked_view.inputs if n not in set(key_nets)]

@@ -56,6 +56,7 @@ from repro.attacks.results import AttackOutcome, AttackResult
 from repro.attacks.unroll import encode_unrolled, extend_unrolled
 from repro.engine.batch_oracle import BatchedSequentialOracle
 from repro.engine.equivalence import packed_candidate_key_filter
+from repro.engine.packed import parse_engine
 from repro.locking.base import LockedCircuit, pack_key_bits
 from repro.netlist.circuit import Circuit
 from repro.sat.session import DEFAULT_BACKEND, SolveSession, SolverTelemetry
@@ -252,11 +253,9 @@ def sequential_oracle_guided_attack(
     pair there for each UNSAT answer (``repro check proof`` replays them),
     and the pair count lands in ``details["certificates"]``.
     """
-    if engine not in ("packed", "scalar"):
-        raise ValueError(f"unknown engine {engine!r} (expected 'packed' or 'scalar')")
+    batched, backend = parse_engine(engine)
     if dis_batch < 1 or key_batch < 1:
         raise ValueError("dis_batch and key_batch must be at least 1")
-    batched = engine == "packed"
     if not batched:
         dis_batch = 1
         key_batch = 1
@@ -269,7 +268,11 @@ def sequential_oracle_guided_attack(
         return AttackResult(attack=attack_name, outcome=AttackOutcome.FAIL,
                             details={"reason": "circuit has no key inputs"})
 
-    oracle = BatchedSequentialOracle(original) if batched else SequentialOracle(original)
+    oracle = (
+        BatchedSequentialOracle(original, backend=backend)
+        if batched
+        else SequentialOracle(original)
+    )
     key_nets = list(locked_circuit.key_inputs)
     functional_inputs = [n for n in locked_circuit.inputs if n not in set(key_nets)]
     shared_outputs = [o for o in locked_circuit.outputs if o in set(oracle.output_nets)]
@@ -453,6 +456,7 @@ def sequential_oracle_guided_attack(
             survivors = packed_candidate_key_filter(
                 original, locked_circuit, candidates, key_nets,
                 num_sequences=verify_sequences, sequence_length=verify_length,
+                backend=backend,
             )
             prefiltered_keys += sum(1 for alive in survivors if not alive)
             candidates = [c for c, alive in zip(candidates, survivors) if alive]

@@ -63,6 +63,7 @@ from repro.benchmarks_data import (
 from repro.locking.base import KeySchedule
 from repro.locking.baselines import lock_dklock, lock_harpoon, lock_rll, lock_sarlock, lock_ttlock
 from repro.locking.cutelock_str import CuteLockStr
+from repro.engine.packed import ENGINE_CHOICES
 from repro.netlist.bench import load_bench, save_bench
 from repro.sat.session import solver_backends
 from repro.synthesis.overhead import analyze_circuit
@@ -457,23 +458,35 @@ def _cmd_check(args: argparse.Namespace) -> int:
         return 1 if findings else 0
 
     if args.command_check == "program":
-        from repro.check.program import KernelVerificationError, verify_compiled
+        from repro.check.program import (
+            KernelVerificationError,
+            verify_compiled,
+            verify_compiled_numpy,
+        )
         from repro.engine.compiler import compile_circuit
         from repro.netlist.circuit import CircuitError
 
+        targets = ("bigint", "numpy") if args.target == "both" else (args.target,)
         try:
             circuit = load_bench(args.netlist)
             # codegen=False: verify the kernel source without executing it.
+            # Neither target needs numpy importable — only running does.
             compiled = compile_circuit(circuit, codegen=False)
-            assigned = verify_compiled(compiled)
+            counts = {}
+            for target in targets:
+                verifier = verify_compiled if target == "bigint" else verify_compiled_numpy
+                counts[target] = len(verifier(compiled))
         except KernelVerificationError as exc:
             print(f"check program: {exc}", file=sys.stderr)
             return 1
         except (OSError, CircuitError) as exc:
             print(f"check program: {type(exc).__name__}: {exc}", file=sys.stderr)
             return 2
+        summary = ", ".join(
+            f"{count} {target} kernel ops" for target, count in counts.items()
+        )
         print(f"check program: {circuit.name}: verified "
-              f"{len(assigned)} kernel ops over {compiled.num_slots} slots "
+              f"{summary} over {compiled.num_slots} slots "
               f"({compiled.num_levels} levels)")
         return 0
 
@@ -750,8 +763,10 @@ def build_parser() -> argparse.ArgumentParser:
     attack.add_argument("oracle")
     attack.add_argument("--attack", default="sat", choices=sorted(_ATTACKS))
     attack.add_argument("--time-limit", type=float, default=60.0)
-    attack.add_argument("--engine", default="packed", choices=["packed", "scalar"],
-                        help="packed = batched DIP/DIS harvesting (default); "
+    attack.add_argument("--engine", default="packed", choices=list(ENGINE_CHOICES),
+                        help="packed = batched DIP/DIS harvesting with the "
+                             "auto-selected backend (default); packed-bigint/"
+                             "packed-numpy pin the packed evaluation backend; "
                              "scalar = bit-exact legacy path")
     attack.add_argument("--solver-backend", default="cdcl",
                         choices=list(solver_backends()),
@@ -869,7 +884,7 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_run.add_argument("--time-limit", type=float, default=20.0,
                               help="per-attack time budget in seconds")
     campaign_run.add_argument("--engine", default="packed",
-                              choices=["packed", "scalar"])
+                              choices=list(ENGINE_CHOICES))
     campaign_run.add_argument("--solver-backend", default="cdcl",
                               choices=list(solver_backends()),
                               help="CDCL session backend every attack cell "
@@ -994,6 +1009,11 @@ def build_parser() -> argparse.ArgumentParser:
                     "without executing it (the same verifier the engine runs "
                     "before exec under REPRO_CHECK_KERNELS=1).")
     check_program.add_argument("netlist", help=".bench netlist")
+    check_program.add_argument(
+        "--target", default="both", choices=["bigint", "numpy", "both"],
+        help="which codegen target's kernels to verify (default: both; "
+             "verification never executes them, so numpy need not be "
+             "installed)")
     check_program.set_defaults(func=_cmd_check)
 
     check_cnf_p = check_sub.add_parser(

@@ -166,12 +166,16 @@ def toggle_counts(
     histories; ``engine="scalar"`` keeps the original dict-based loop as the
     reference implementation.  Both produce identical counts.
     """
-    if engine == "packed":
+    from repro.engine.packed import parse_engine
+
+    # Toggle counting advances state cycle by cycle (width-1 passes), so the
+    # packed backend choice is irrelevant here — any packed-* spelling takes
+    # the compiled-program path.
+    batched, _ = parse_engine(engine)
+    if batched:
         from repro.engine.equivalence import packed_toggle_counts
 
         return packed_toggle_counts(circuit, input_vectors, initial_state=initial_state)
-    if engine != "scalar":
-        raise ValueError(f"unknown engine {engine!r} (expected 'packed' or 'scalar')")
     sim = CombinationalSimulator(circuit)
     state = {q: ff.init for q, ff in circuit.dffs.items()}
     if initial_state:

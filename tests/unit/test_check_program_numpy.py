@@ -1,0 +1,242 @@
+"""Unit tests for the numpy-target kernel verifier (repro.check.program).
+
+The numpy codegen target lowers gates to in-place ufunc calls instead of
+bitwise expressions, so the verifier restates the straight-line /
+levelized / bitwise-only invariants over that call grammar
+(:func:`verify_numpy_kernel_source`).  These tests prove clean codegen
+verifies silently, every seeded grammar violation is rejected with a
+precise message, and corrupted codegen is refused *before* exec — without
+numpy ever being imported (verification is pure AST work).
+"""
+
+import pytest
+
+from repro.check.program import (
+    KernelVerificationError,
+    verify_compiled_numpy,
+    verify_numpy_kernel_source,
+    verify_packed_array,
+)
+from repro.engine import compiler
+from repro.engine.compiler import compile_circuit, numpy_kernel_sources
+from repro.netlist.circuit import Circuit
+from repro.netlist.gates import GateType
+from test_check_program import small_circuit
+
+HEADER = "def _kernel(v, mask, band, bor, bxor, binv):\n"
+
+
+# --------------------------------------------------------------------- #
+# clean codegen verifies
+# --------------------------------------------------------------------- #
+def test_real_compiled_circuit_verifies():
+    compiled = compile_circuit(small_circuit(), codegen=False)
+    assigned = verify_compiled_numpy(compiled)
+    assert sorted(assigned) == sorted(op.out_slot for op in compiled.ops)
+
+
+def test_every_gate_type_verifies():
+    circuit = Circuit(name="np_all_gates")
+    for net in ("a", "b", "s"):
+        circuit.add_input(net)
+    gates = [
+        ("g_buf", GateType.BUF, ("a",)),
+        ("g_not", GateType.NOT, ("a",)),
+        ("g_and", GateType.AND, ("a", "b")),
+        ("g_nand", GateType.NAND, ("a", "b", "s")),
+        ("g_or", GateType.OR, ("a", "b")),
+        ("g_nor", GateType.NOR, ("a", "b")),
+        ("g_xor", GateType.XOR, ("a", "b")),
+        ("g_xnor", GateType.XNOR, ("a", "b", "s")),
+        ("g_mux", GateType.MUX, ("s", "g_and", "g_or")),
+        ("g_c0", GateType.CONST0, ()),
+        ("g_c1", GateType.CONST1, ()),
+    ]
+    for output, gtype, inputs in gates:
+        circuit.add_gate(output, gtype, inputs)
+    circuit.add_gate("y", GateType.OR,
+                     ("g_buf", "g_not", "g_nand", "g_nor",
+                      "g_xor", "g_xnor", "g_mux", "g_c0", "g_c1"))
+    circuit.add_output("y")
+    compiled = compile_circuit(circuit, codegen=False)
+    assert sorted(verify_compiled_numpy(compiled)) == sorted(
+        op.out_slot for op in compiled.ops
+    )
+
+
+def test_empty_program_verifies():
+    circuit = Circuit(name="np_wires")
+    circuit.add_input("a")
+    circuit.add_output("a")
+    assert verify_compiled_numpy(compile_circuit(circuit, codegen=False)) == []
+
+
+def test_numpy_kernel_sources_match_exec_path():
+    compiled = compile_circuit(small_circuit(), codegen=False)
+    chunks = list(numpy_kernel_sources(compiled.ops))
+    assert len(chunks) == len(compiled.numpy_kernels(verify=True))
+    assert all(source.startswith(HEADER.rstrip(":\n") + ":")
+               for _, source in chunks)
+
+
+# --------------------------------------------------------------------- #
+# seeded violations are caught with precise messages
+# --------------------------------------------------------------------- #
+def violations_of(source, defined=frozenset()):
+    with pytest.raises(KernelVerificationError) as err:
+        verify_numpy_kernel_source(source, set(defined), label="<test>")
+    return "\n".join(err.value.violations)
+
+
+def test_use_before_def_caught():
+    text = violations_of(HEADER + "    band(v[0], v[2], v[1])\n", {0})
+    assert "reads v[2] before it is defined" in text
+
+
+def test_first_statement_reading_own_output_caught():
+    # A spliced cycle: the gate's first statement reads its own row.
+    text = violations_of(HEADER + "    band(v[0], v[1], v[1])\n", {0})
+    assert "reads v[1] before it is defined" in text
+
+
+def test_chain_may_reread_its_own_row():
+    # The in-place fold: NAND is band(...) then binv(out, out).  Legal.
+    defined = {0, 1}
+    assert verify_numpy_kernel_source(
+        HEADER + "    band(v[0], v[1], v[2])\n    binv(v[2], v[2])\n", defined
+    ) == [2]
+
+
+def test_reopening_a_finished_row_caught():
+    # Once another gate starts, the earlier row is finished for good.
+    text = violations_of(
+        HEADER
+        + "    band(v[0], v[0], v[1])\n"
+        + "    band(v[0], v[0], v[2])\n"
+        + "    binv(v[1], v[1])\n",
+        {0},
+    )
+    assert "v[1] assigned twice" in text
+
+
+def test_constant_reassignment_caught():
+    text = violations_of(
+        HEADER + "    v[1] = 0\n    v[1] = mask\n", {0}
+    )
+    assert "v[1] assigned twice" in text
+
+
+def test_unknown_callee_caught():
+    text = violations_of(HEADER + "    badd(v[0], v[0], v[1])\n", {0})
+    assert "call to something other than" in text
+
+
+def test_wrong_arity_caught():
+    text = violations_of(HEADER + "    binv(v[0], v[0], v[1])\n", {0})
+    assert "takes exactly 2" in text
+    text = violations_of(HEADER + "    band(v[0], v[1])\n", {0, 1})
+    assert "takes exactly 3" in text
+
+
+def test_keyword_arguments_caught():
+    text = violations_of(HEADER + "    band(v[0], v[0], out=v[1])\n", {0})
+    assert "positional" in text
+
+
+def test_non_row_argument_caught():
+    text = violations_of(HEADER + "    band(v[0], mask, v[1])\n", {0})
+    assert "argument is not v[<constant slot>]" in text
+    text = violations_of(HEADER + "    band(v[0], v[0], v[mask])\n", {0})
+    assert "argument is not v[<constant slot>]" in text
+
+
+def test_constant_rhs_whitelist():
+    defined = set()
+    assert verify_numpy_kernel_source(
+        HEADER + "    v[0] = 0\n    v[1] = mask\n", defined
+    ) == [0, 1]
+    text = violations_of(HEADER + "    v[0] = 255\n")
+    assert "must be 0 or mask" in text
+    text = violations_of(HEADER + "    v[0] = evil\n")
+    assert "must be 0 or mask" in text
+
+
+def test_statement_injection_caught():
+    text = violations_of(HEADER + "    import os\n    band(v[0], v[0], v[1])\n", {0})
+    assert "not an in-place ufunc call" in text
+
+
+def test_attribute_call_caught():
+    text = violations_of(HEADER + "    np.bitwise_and(v[0], v[0], v[1])\n", {0})
+    assert "call to something other than" in text
+
+
+def test_wrong_signature_caught():
+    with pytest.raises(KernelVerificationError) as err:
+        verify_numpy_kernel_source("def _kernel(v, mask):\n    pass\n", set())
+    assert "signature" in str(err.value)
+
+
+def test_cross_chunk_use_before_def_caught():
+    defined = {0}
+    verify_numpy_kernel_source(HEADER + "    band(v[0], v[0], v[1])\n", defined)
+    assert defined == {0, 1}
+    with pytest.raises(KernelVerificationError):
+        verify_numpy_kernel_source(HEADER + "    band(v[2], v[2], v[3])\n", defined)
+
+
+# --------------------------------------------------------------------- #
+# corrupted codegen is refused before exec
+# --------------------------------------------------------------------- #
+def test_mutated_codegen_rejected(monkeypatch):
+    # Corrupt the numpy code generator so a gate reads a not-yet-written
+    # row; numpy_kernels(verify=True) must refuse to exec it.
+    real = compiler._numpy_op_statements
+
+    def evil(op):
+        statements = real(op)
+        return [s.replace(f"v[{op.in_slots[0]}]", f"v[{op.out_slot + 1}]", 1)
+                if op.in_slots else s
+                for s in statements]
+
+    monkeypatch.setattr(compiler, "_numpy_op_statements", evil)
+    compiled = compile_circuit(small_circuit(), codegen=False)
+    with pytest.raises(KernelVerificationError):
+        compiled.numpy_kernels(verify=True)
+
+
+def test_injected_call_rejected(monkeypatch):
+    real = compiler._numpy_op_statements
+
+    def evil(op):
+        return ["__import__('os').getpid()"] + real(op)
+
+    monkeypatch.setattr(compiler, "_numpy_op_statements", evil)
+    compiled = compile_circuit(small_circuit(), codegen=False)
+    with pytest.raises(KernelVerificationError):
+        compiled.numpy_kernels(verify=True)
+
+
+def test_env_flag_arms_numpy_verifier(monkeypatch):
+    real = compiler._numpy_op_statements
+    monkeypatch.setattr(compiler, "_numpy_op_statements",
+                        lambda op: ["print()"] + real(op))
+    monkeypatch.setenv("REPRO_CHECK_KERNELS", "0")
+    compile_circuit(small_circuit(), codegen=False).numpy_kernels()  # unverified
+    monkeypatch.setenv("REPRO_CHECK_KERNELS", "1")
+    with pytest.raises(KernelVerificationError):
+        compile_circuit(small_circuit(), codegen=False).numpy_kernels()
+
+
+# --------------------------------------------------------------------- #
+# runtime array sanitizer
+# --------------------------------------------------------------------- #
+def test_verify_packed_array():
+    numpy = pytest.importorskip("numpy")
+    mask_row = numpy.array([0xFFFF_FFFF_FFFF_FFFF, 0xFF], dtype="<u8")
+    clean = numpy.array([[0, 0], [123, 0x80]], dtype="<u8")
+    verify_packed_array(clean, mask_row)
+    dirty = numpy.array([[0, 0], [0, 0x100]], dtype="<u8")
+    with pytest.raises(KernelVerificationError) as err:
+        verify_packed_array(dirty, mask_row)
+    assert "row #1" in str(err.value)

@@ -1,0 +1,215 @@
+"""Unit tests for the packed-engine backend knob and the batch swizzles.
+
+Covers the ``backend="bigint"|"numpy"|"auto"`` selection logic, graceful
+degradation when numpy is absent (simulated by pinning the compiler's
+import probe cache), and cross-checks of the vectorized
+``pack_vectors``/``unpack_vectors``/``unpack_bits`` byte swizzles against
+the retained bigint reference loops.
+"""
+
+import random
+
+import pytest
+
+from repro.engine import compiler, packed
+from repro.engine.compiler import numpy_available
+from repro.engine.packed import (
+    BACKENDS,
+    ENGINE_CHOICES,
+    PackedSimulator,
+    _pack_vectors_bigint,
+    _unpack_word_bigint,
+    pack_vectors,
+    parse_engine,
+    unpack_bits,
+    unpack_vectors,
+)
+from repro.netlist.circuit import Circuit, CircuitError
+from repro.netlist.gates import GateType
+
+needs_numpy = pytest.mark.skipif(not numpy_available(), reason="numpy not installed")
+
+
+def tiny_circuit() -> Circuit:
+    circuit = Circuit(name="backend_tiny")
+    for net in ("a", "b"):
+        circuit.add_input(net)
+    circuit.add_gate("n", GateType.NAND, ["a", "b"])
+    circuit.add_gate("y", GateType.XOR, ["n", "a"])
+    circuit.add_output("y")
+    return circuit
+
+
+def no_numpy(monkeypatch):
+    """Make the engine behave as if numpy were not installed."""
+    monkeypatch.setattr(compiler, "_numpy_cache", False)
+
+
+# --------------------------------------------------------------------- #
+# backend selection
+# --------------------------------------------------------------------- #
+def test_backend_validation():
+    circuit = tiny_circuit()
+    for backend in BACKENDS:
+        if backend == "numpy" and not numpy_available():
+            continue
+        PackedSimulator(circuit, backend=backend)
+    with pytest.raises(ValueError, match="unknown backend"):
+        PackedSimulator(circuit, backend="cupy")
+
+
+def test_parse_engine_choices():
+    assert parse_engine("packed") == (True, "auto")
+    assert parse_engine("packed-bigint") == (True, "bigint")
+    assert parse_engine("packed-numpy") == (True, "numpy")
+    assert parse_engine("scalar") == (False, "bigint")
+    assert set(ENGINE_CHOICES) == {
+        "packed", "packed-bigint", "packed-numpy", "scalar"
+    }
+    with pytest.raises(ValueError, match="unknown engine"):
+        parse_engine("vector")
+
+
+@needs_numpy
+def test_auto_picks_numpy_only_past_one_tile():
+    sim = PackedSimulator(tiny_circuit(), backend="auto")
+    assert not sim._use_numpy(1)
+    assert not sim._use_numpy(packed.TILE_WIDTH)
+    assert sim._use_numpy(packed.TILE_WIDTH + 1)
+    assert sim._use_numpy(4096)
+    pinned = PackedSimulator(tiny_circuit(), backend="numpy")
+    assert pinned._use_numpy(1)
+    bigint = PackedSimulator(tiny_circuit(), backend="bigint")
+    assert not bigint._use_numpy(4096)
+
+
+# --------------------------------------------------------------------- #
+# graceful degradation without numpy
+# --------------------------------------------------------------------- #
+def test_auto_degrades_silently_without_numpy(monkeypatch):
+    no_numpy(monkeypatch)
+    circuit = tiny_circuit()
+    sim = PackedSimulator(circuit, backend="auto")
+    assert not sim._use_numpy(4096)
+    rng = random.Random(3)
+    vectors = [
+        {net: rng.randint(0, 1) for net in circuit.inputs} for _ in range(300)
+    ]
+    expected = PackedSimulator(circuit, backend="bigint").outputs_batch(vectors)
+    assert sim.outputs_batch(vectors) == expected
+
+
+def test_pinned_numpy_backend_raises_without_numpy(monkeypatch):
+    no_numpy(monkeypatch)
+    with pytest.raises(CircuitError, match="requires numpy"):
+        PackedSimulator(tiny_circuit(), backend="numpy")
+
+
+def test_run_numpy_raises_without_numpy(monkeypatch):
+    no_numpy(monkeypatch)
+    compiled = compiler.compile_circuit(tiny_circuit())
+    with pytest.raises(CircuitError, match="requires numpy"):
+        compiled.run_numpy(None, None)
+
+
+def test_numpy_kernels_build_without_numpy(monkeypatch):
+    # Codegen and verification are pure-python; only running needs numpy.
+    no_numpy(monkeypatch)
+    compiled = compiler.compile_circuit(tiny_circuit())
+    assert compiled.numpy_kernels(verify=True)
+
+
+def test_swizzles_fall_back_without_numpy(monkeypatch):
+    no_numpy(monkeypatch)
+    rng = random.Random(9)
+    count = 500
+    word = rng.getrandbits(count)
+    assert unpack_bits(word, count) == [(word >> lane) & 1 for lane in range(count)]
+    nets = ["a", "b"]
+    vectors = [{net: rng.randint(0, 1) for net in nets} for _ in range(count)]
+    assert pack_vectors(vectors, nets) == _pack_vectors_bigint(vectors, nets, None)
+
+
+# --------------------------------------------------------------------- #
+# swizzle cross-checks: numpy fast path == bigint reference
+# --------------------------------------------------------------------- #
+@needs_numpy
+@pytest.mark.parametrize("count", [129, 192, 200, 4096, 4100])
+def test_unpack_bits_swizzle_matches_reference(count):
+    rng = random.Random(count)
+    for word in (0, (1 << count) - 1, rng.getrandbits(count)):
+        assert unpack_bits(word, count) == _unpack_word_bigint(word, count)
+
+
+@needs_numpy
+@pytest.mark.parametrize("count", [129, 200, 4096])
+def test_pack_vectors_swizzle_matches_reference(count):
+    rng = random.Random(count)
+    nets = [f"i{k}" for k in range(5)]
+    vectors = [
+        {net: rng.randint(0, 1) for net in nets} for _ in range(count)
+    ]
+    assert pack_vectors(vectors, nets) == _pack_vectors_bigint(vectors, nets, None)
+    # default fill for missing nets
+    sparse = [
+        {net: v for net, v in vec.items() if rng.random() < 0.5}
+        for vec in vectors
+    ]
+    assert pack_vectors(sparse, nets, default=1) == _pack_vectors_bigint(
+        sparse, nets, 1
+    )
+    # round-trip through the unpack swizzle
+    words = pack_vectors(vectors, nets)
+    assert unpack_vectors(words, nets, count) == vectors
+
+
+@needs_numpy
+def test_pack_vectors_swizzle_missing_net_raises():
+    vectors = [{"a": 1} for _ in range(200)]
+    with pytest.raises(CircuitError, match="missing value for primary input"):
+        pack_vectors(vectors, ["a", "b"])
+
+
+# --------------------------------------------------------------------- #
+# numpy eval details
+# --------------------------------------------------------------------- #
+@needs_numpy
+def test_numpy_buffer_reused_across_passes():
+    circuit = tiny_circuit()
+    sim = PackedSimulator(circuit, backend="numpy")
+    words = {"a": (1 << 200) - 1, "b": 0}
+    sim.eval_words(words, width=200)
+    first = sim._np_buffer
+    assert first is not None
+    sim.eval_words(words, width=200)
+    assert sim._np_buffer is first
+    # a different word count reallocates, refresh() drops the cache
+    sim.eval_words(words, width=300)
+    assert sim._np_buffer is not first
+    sim.refresh()
+    assert sim._np_buffer is None
+
+
+@needs_numpy
+def test_numpy_missing_input_word_raises():
+    sim = PackedSimulator(tiny_circuit(), backend="numpy")
+    with pytest.raises(CircuitError, match="missing word for primary input"):
+        sim.output_words({"a": 0}, width=200)
+
+
+@needs_numpy
+def test_numpy_dff_init_defaults():
+    circuit = Circuit(name="dff_init")
+    circuit.add_input("x")
+    circuit.add_gate("d", GateType.XOR, ["x", "q1"])
+    circuit.add_dff("q0", "d", init=0)
+    circuit.add_dff("q1", "d", init=1)
+    circuit.add_output("d")
+    width = 200
+    mask = (1 << width) - 1
+    vec = PackedSimulator(circuit, backend="numpy")
+    big = PackedSimulator(circuit, backend="bigint")
+    assert vec.initial_state_words(width) == {"q0": 0, "q1": mask}
+    out_v = vec.output_words({"x": mask}, None, width=width)
+    out_b = big.output_words({"x": mask}, None, width=width)
+    assert out_v == out_b == {"d": 0}
